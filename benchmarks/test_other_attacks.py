@@ -1,0 +1,207 @@
+"""Section VII — the other attacks on shared software, as a battery.
+
+Regenerates the paper's qualitative table: which channel exists in the
+baseline, which TimeCache option closes it, and which channels the paper
+explicitly leaves to complementary defenses (randomizing caches).
+"""
+
+from benchmarks.conftest import run_once
+from repro.attacks import (
+    run_evict_reload,
+    run_evict_time,
+    run_flush_flush,
+    run_invalidate_transfer,
+    run_lru_attack,
+    run_prime_probe,
+    run_smt_flush_reload,
+    run_spectre_covert_channel,
+)
+from repro.common import scaled_experiment_config
+from repro.common.config import HierarchyConfig
+
+
+def _cfg(cores=1, **tc):
+    config = scaled_experiment_config(num_cores=cores)
+    if tc:
+        config = config.with_timecache(**tc)
+    return config
+
+
+def test_evict_reload_blocked(benchmark):
+    def run():
+        base = run_evict_reload(_cfg().baseline(), rounds=5)
+        defended = run_evict_reload(_cfg(), rounds=5)
+        return base, defended
+
+    base, defended = run_once(benchmark, run)
+    print(
+        f"\n[VII] evict+reload: baseline {base.probe_hits}/{base.probe_total}"
+        f" hits, TimeCache {defended.probe_hits}"
+    )
+    assert base.probe_hits == base.probe_total
+    assert defended.probe_hits == 0
+
+
+def test_invalidate_transfer_blocked(benchmark):
+    def run():
+        base = run_invalidate_transfer(_cfg(2).baseline(), victim_touches=True)
+        defended = run_invalidate_transfer(_cfg(2), victim_touches=True)
+        dirty = run_invalidate_transfer(
+            _cfg(2), victim_touches=True, victim_writes=True
+        )
+        return base, defended, dirty
+
+    base, defended, dirty = run_once(benchmark, run)
+    print(
+        f"\n[VII] invalidate+transfer: baseline {base.probe_hits} hits, "
+        f"TimeCache {defended.probe_hits}, dirty variant {dirty.probe_hits}"
+    )
+    assert base.probe_hits > 0
+    assert defended.probe_hits == 0
+    assert dirty.probe_hits == 0
+
+
+def test_flush_flush_needs_constant_time_clflush(benchmark):
+    def run():
+        leaking = run_flush_flush(_cfg(), victim_touches=True)
+        fixed_active = run_flush_flush(
+            _cfg(constant_time_flush=True), victim_touches=True
+        )
+        fixed_idle = run_flush_flush(
+            _cfg(constant_time_flush=True), victim_touches=False
+        )
+        return leaking, fixed_active, fixed_idle
+
+    leaking, fixed_active, fixed_idle = run_once(benchmark, run)
+    print(
+        f"\n[VII] flush+flush: plain TimeCache still leaks "
+        f"({leaking.probe_hits} hits); constant-time clflush makes "
+        f"active/idle indistinguishable"
+    )
+    assert leaking.probe_hits > 0  # first-access delay alone is not enough
+    assert set(fixed_active.latencies) == set(fixed_idle.latencies)
+
+
+def test_lru_attack_out_of_scope(benchmark):
+    """Paper VII-A: LRU/eviction-set attacks are the randomizing-cache
+    defenses' job; TimeCache neither blocks nor claims to block them."""
+
+    def run():
+        active = run_lru_attack(_cfg(), victim_touches=True)
+        idle = run_lru_attack(_cfg(), victim_touches=False)
+        return active, idle
+
+    active, idle = run_once(benchmark, run)
+    print(
+        f"\n[VII] LRU attack under TimeCache: active {active.probe_hits} "
+        f"vs idle {idle.probe_hits} hits (channel remains, as the paper "
+        f"states)"
+    )
+    assert active.probe_hits > idle.probe_hits
+
+
+def test_prime_probe_out_of_scope(benchmark):
+    def run():
+        active = run_prime_probe(_cfg(), victim_active=True)
+        idle = run_prime_probe(_cfg(), victim_active=False)
+        return active, idle
+
+    active, idle = run_once(benchmark, run)
+    print(
+        f"\n[VII] prime+probe under TimeCache: displaced probes "
+        f"{active.extra['displaced_probes']} vs idle "
+        f"{idle.extra['displaced_probes']} (contention channel remains)"
+    )
+    assert active.extra["displaced_probes"] > idle.extra["displaced_probes"]
+
+
+def test_smt_hyperthread_attack_blocked(benchmark):
+    """Threat model: attacker on a sibling hyperthread, sharing the L1."""
+    import dataclasses
+
+    base = scaled_experiment_config(num_cores=1)
+    smt = dataclasses.replace(
+        base,
+        hierarchy=HierarchyConfig(
+            num_cores=1,
+            threads_per_core=2,
+            l1i=base.hierarchy.l1i,
+            l1d=base.hierarchy.l1d,
+            llc=base.hierarchy.llc,
+        ),
+    )
+
+    def run():
+        leaky = run_smt_flush_reload(smt.baseline())
+        blocked = run_smt_flush_reload(smt)
+        return leaky, blocked
+
+    leaky, blocked = run_once(benchmark, run)
+    print(
+        f"\n[VII] SMT flush+reload: baseline {leaky.probe_hits}/"
+        f"{leaky.probe_total} hits (min latency "
+        f"{min(leaky.latencies)} = L1-fast), TimeCache {blocked.probe_hits}"
+    )
+    assert leaky.probe_hits == leaky.probe_total
+    assert blocked.probe_hits == 0
+
+
+def test_spectre_covert_channel_killed(benchmark):
+    """Section VIII: breaking the reuse channel kills Spectre's transmit
+    end — the secret byte never crosses."""
+
+    def run():
+        leaked = run_spectre_covert_channel(
+            scaled_experiment_config(num_cores=2).baseline(), secret=0xA7
+        )
+        blocked = run_spectre_covert_channel(
+            scaled_experiment_config(num_cores=2), secret=0xA7
+        )
+        return leaked, blocked
+
+    leaked, blocked = run_once(benchmark, run)
+    print(
+        f"\n[VIII] Spectre covert channel: baseline recovered "
+        f"{leaked.recovered:#x} (secret {leaked.secret:#x}); TimeCache "
+        f"recovered {blocked.recovered} with {blocked.probe_hits} hits"
+    )
+    assert leaked.leaked
+    assert not blocked.leaked
+    assert blocked.probe_hits == 0
+
+
+def test_keystroke_timing_blocked(benchmark):
+    """§II-B's cited attack class: keystroke timing through a shared
+    input-handler library."""
+    from repro.attacks.keystroke import run_keystroke_attack
+
+    def run():
+        base = run_keystroke_attack(_cfg(2).baseline(), presses=8)
+        blocked = run_keystroke_attack(_cfg(2), presses=8)
+        return base, blocked
+
+    base, blocked = run_once(benchmark, run)
+    print(
+        f"\n[II-B] keystroke timeline: baseline recall {base.recall:.2f} "
+        f"({len(base.recovered_times)} events for "
+        f"{len(base.true_press_times)} presses); TimeCache recall "
+        f"{blocked.recall:.2f} with {blocked.probe_hits} hits"
+    )
+    assert base.timeline_recovered
+    assert not blocked.timeline_recovered
+    assert blocked.probe_hits == 0
+
+
+def test_evict_time_channel_characterized(benchmark):
+    def run():
+        uses = run_evict_time(_cfg(), victim_uses_line=True)
+        unused = run_evict_time(_cfg(), victim_uses_line=False)
+        return uses, unused
+
+    uses, unused = run_once(benchmark, run)
+    print(
+        f"\n[VII] evict+time: slowdown {uses.extra['slowdown']:.1f} cycles "
+        f"when the victim uses the line, {unused.extra['slowdown']:.1f} "
+        f"when it does not"
+    )
+    assert uses.extra["slowdown"] > unused.extra["slowdown"]

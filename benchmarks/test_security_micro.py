@@ -1,0 +1,68 @@
+"""E1 — Section VI-A1 microbenchmark functionality evaluation.
+
+Paper: the parent flushes a 256-line shared array, yields, the child
+writes it, the parent performs timed reads.  "The attacker does not see
+any hit with our defense simulation enabled" — and without it, every
+reload hits.
+"""
+
+from benchmarks.conftest import run_once
+from repro.attacks.flush_reload import run_microbenchmark_attack
+from repro.common import scaled_experiment_config
+
+
+def test_microbenchmark_baseline_fully_leaks(benchmark):
+    config = scaled_experiment_config(num_cores=1).baseline()
+    outcome = run_once(
+        benchmark,
+        run_microbenchmark_attack,
+        config,
+        shared_lines=256,
+        sleep_cycles=300_000,
+    )
+    print(
+        f"\n[E1 baseline] reload hits: {outcome.probe_hits}/"
+        f"{outcome.probe_total} (hit fraction {outcome.hit_fraction:.2f})"
+    )
+    assert outcome.probe_total == 256
+    assert outcome.probe_hits == 256  # the channel is fully open
+
+
+def test_microbenchmark_timecache_blocks_everything(benchmark):
+    config = scaled_experiment_config(num_cores=1)
+    outcome = run_once(
+        benchmark,
+        run_microbenchmark_attack,
+        config,
+        shared_lines=256,
+        sleep_cycles=300_000,
+    )
+    print(
+        f"\n[E1 TimeCache] reload hits: {outcome.probe_hits}/"
+        f"{outcome.probe_total} — paper: 'does not see any hit'"
+    )
+    assert outcome.probe_total == 256
+    assert outcome.probe_hits == 0  # the paper's exact claim
+
+
+def test_latency_distributions_separate_cleanly(benchmark):
+    """The attacker's classification threshold sits between the two
+    configurations' latency clouds: defense-on reloads are
+    indistinguishable from misses."""
+    config = scaled_experiment_config(num_cores=1)
+
+    def both():
+        base = run_microbenchmark_attack(
+            config.baseline(), shared_lines=128, sleep_cycles=200_000
+        )
+        defended = run_microbenchmark_attack(
+            config, shared_lines=128, sleep_cycles=200_000
+        )
+        return base, defended
+
+    base, defended = run_once(benchmark, both)
+    print(
+        f"\n[E1 latencies] baseline max {max(base.latencies)} < "
+        f"defended min {min(defended.latencies)}"
+    )
+    assert max(base.latencies) < min(defended.latencies)

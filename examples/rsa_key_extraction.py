@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's headline demonstration: GnuPG-style RSA key extraction.
+
+A victim process performs RSA signing with square-and-multiply modular
+exponentiation; its instruction fetches hit the square/multiply/reduce
+functions of a shared crypto library.  A flush+reload spy on another
+core monitors those three cache lines and decodes the private exponent
+from the temporal fetch pattern.
+
+Running this script shows the attack succeeding on the baseline cache
+and recovering exactly nothing under TimeCache, while the victim's
+arithmetic stays correct throughout.
+
+Run:  python examples/rsa_key_extraction.py
+"""
+
+from repro.attacks.rsa import generate_key, run_rsa_attack
+from repro.common import scaled_experiment_config
+
+
+def show(result, label):
+    truth = "".join(map(str, result.true_bits))
+    recovered = "".join(map(str, result.recovered_bits))
+    print(f"--- {label} ---")
+    print(f"  probe hits         : {result.probe_hits}/{result.probe_total}")
+    print(f"  attacker samples   : {len(result.samples)}")
+    print(f"  secret exponent    : {truth}")
+    print(f"  recovered bits     : {recovered or '(none)'}")
+    print(f"  bit accuracy       : {result.accuracy:.1%}")
+    print(f"  key recovered      : {result.key_recovered}")
+    print(f"  RSA result correct : {result.ciphertext_ok}")
+    print()
+
+
+def main() -> None:
+    key = generate_key(seed=7, prime_bits=28)
+    print("=== RSA flush+reload attack (Section VI-A2) ===\n")
+    print(f"victim key: n={key.n:#x}, {len(key.d_bits)}-bit private exponent\n")
+
+    baseline = run_rsa_attack(
+        scaled_experiment_config(num_cores=2).baseline(), key=key
+    )
+    show(baseline, "baseline cache: the attack goes through")
+
+    defended = run_rsa_attack(scaled_experiment_config(num_cores=2), key=key)
+    show(defended, "TimeCache: the defense breaks the attack")
+
+    assert baseline.key_recovered and not defended.key_recovered
+    print(
+        "TimeCache forced every one of the attacker's timed reloads to "
+        "observe memory latency\n(each followed a flush, so each was a "
+        "first access) — no hits, no signal, no key."
+    )
+
+
+if __name__ == "__main__":
+    main()

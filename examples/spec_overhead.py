@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Reproduce a slice of Table II / Figure 7: SPEC-pair overhead.
+
+Runs a handful of the paper's single-core benchmark pairs (two processes
+time-sliced on one core, sharing libc, kernel text, and — for 2Xfoo
+pairs — the benchmark binary) under the baseline and under TimeCache,
+and prints normalized execution time and LLC MPKI in the paper's Table
+II layout.
+
+The full 24-pair sweep lives in benchmarks/test_table2_fig7_spec.py;
+this example keeps the pair list short so it finishes in under a minute.
+
+Run:  python examples/spec_overhead.py [instructions_per_process]
+"""
+
+import sys
+
+from repro.analysis import render_mpki_table, render_table2, spec_pair_sweep
+from repro.analysis.tables import summarize_overheads
+from repro.workloads.mixes import PAPER_TABLE2_SPEC
+
+PAIRS = [
+    ("specrand", "specrand"),
+    ("lbm", "lbm"),
+    ("wrf", "wrf"),
+    ("perlbench", "perlbench"),
+    ("namd", "lbm"),
+    ("h264ref", "sjeng"),
+]
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 150_000
+    print("=== SPEC2006-like pair overhead (Table II / Figure 7) ===\n")
+    print(f"simulating {len(PAIRS)} pairs x 2 configs x {instructions} instructions/process\n")
+    results = spec_pair_sweep(pairs=PAIRS, instructions=instructions)
+    print(render_table2(results, paper=PAPER_TABLE2_SPEC))
+    print()
+    print("first-access MPKI per cache level (Figure 8 view):")
+    print(render_mpki_table(results))
+    summary = summarize_overheads(results)
+    print(
+        f"\ngeomean overhead: {summary['geomean_overhead']:.2%} "
+        f"(paper, full sweep: 1.13%)"
+    )
+    print(
+        f"context-switch bookkeeping share of runtime: "
+        f"{summary['mean_bookkeeping_fraction']:.3%} (paper: ~0.02%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Tooling workflow: record a workload trace, replay it under every
+defense, export structured results.
+
+This is the downstream-user loop for regression experiments:
+
+1. record a synthetic benchmark's operation stream to a trace file
+   (text, diffable, one op per line);
+2. replay the *identical* stream under the undefended baseline, under
+   TimeCache, and under the partitioning baseline;
+3. export the comparison as JSON for further analysis.
+
+Run:  python examples/trace_workflow.py [workdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.export import save_json
+from repro.common import scaled_experiment_config
+from repro.cpu.tracing import record_program, save_trace, trace_file_program
+from repro.os.kernel import Kernel
+from repro.workloads.generator import WorkloadBuilder
+from repro.workloads.profiles import spec_profile
+
+
+def replay(config, trace_path, label):
+    """Replay the trace as TWO processes time-sliced on one core — the
+    paper's single-core pair methodology.  Their text/libc/kernel pages
+    deduplicate (shared software); data stays private, so the defenses'
+    costs (first accesses, partition flushes) actually engage."""
+    kernel = Kernel(config)
+    builder = WorkloadBuilder(kernel, seed=11)
+    tasks = []
+    for instance in range(2):
+        process, _layout_task = builder.build_process(
+            spec_profile("perlbench"), instance, instructions=10
+        )
+        task = process.spawn(
+            trace_file_program(f"replay-{label}-{instance}", trace_path),
+            affinity=0,
+        )
+        kernel.submit(task)
+        tasks.append(task)
+    kernel.run()
+    hier = kernel.system.hierarchy
+    return {
+        "label": label,
+        # one core: the pair's makespan is the sum of both tasks' time
+        "cycles": sum(t.cycles for t in tasks),
+        "instructions": sum(t.instructions for t in tasks),
+        "llc_misses": hier.llc.stats.get("misses"),
+        "llc_first_access_misses": hier.llc.stats.get("first_access_misses"),
+    }
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="timecache-traces-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    print("=== trace workflow ===\n")
+
+    # 1. record
+    kernel = Kernel(scaled_experiment_config())
+    builder = WorkloadBuilder(kernel, seed=11)
+    _, task = builder.build_process(
+        spec_profile("perlbench"), 0, instructions=40_000
+    )
+    ops = record_program(task.program)
+    trace_path = workdir / "perlbench.trace"
+    count = save_trace(ops, trace_path)
+    print(f"recorded {count} ops -> {trace_path}")
+
+    # 2. replay under each configuration
+    base_cfg = scaled_experiment_config()
+    rows = [
+        replay(base_cfg.baseline(), trace_path, "baseline"),
+        replay(base_cfg, trace_path, "timecache"),
+        replay(base_cfg.with_partitioning(domains=2), trace_path, "partition"),
+    ]
+    base_cycles = rows[0]["cycles"]
+    print(f"\n{'config':<12} {'cycles':>10} {'norm':>8} {'LLC miss':>9} {'fa-miss':>8}")
+    for row in rows:
+        print(
+            f"{row['label']:<12} {row['cycles']:>10} "
+            f"{row['cycles'] / base_cycles:>8.4f} "
+            f"{row['llc_misses']:>9} {row['llc_first_access_misses']:>8}"
+        )
+
+    # 3. export
+    out = save_json(
+        {"schema": 1, "kind": "trace_replay", "results": rows},
+        workdir / "replay_results.json",
+    )
+    print(f"\nwrote {out}")
+    print(
+        "\nSame ops, three machines: the trace file pins the workload so "
+        "any\ncycle difference is attributable to the defense alone."
+    )
+    print(
+        "(Note: two identical back-to-back runs of one short binary are "
+        "the maximal-\nsharing corner case — nearly every shared line is "
+        "a first access, amortized\nover a single time slice.  The "
+        "paper-scale experiments in benchmarks/ show\nthe steady-state "
+        "~1% overhead.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

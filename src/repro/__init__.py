@@ -1,0 +1,40 @@
+"""TimeCache (ISCA 2021) reproduction.
+
+A behavioral, cycle-accounting reproduction of *"TimeCache: Using Time to
+Eliminate Cache Side Channels when Sharing Software"* (Ojha & Dwarkadas).
+
+Layers, bottom up:
+
+* :mod:`repro.common` -- clocks, configuration, RNG, statistics.
+* :mod:`repro.memsys` -- the memory-system substrate (multi-level caches,
+  DRAM, MESI-lite coherence) standing in for gem5.
+* :mod:`repro.core` -- the contribution: s-bits, Tc/Ts timestamps, the
+  bit-serial timestamp-parallel comparator, and context-switch handling.
+* :mod:`repro.cpu` -- a blocking (TimingSimpleCPU-style) CPU executing
+  generator-based programs (multi-core stepping lives in the kernel).
+* :mod:`repro.os` -- processes/threads, virtual memory with shared
+  mappings, and a round-robin scheduler whose switches drive the s-bit
+  save/restore.
+* :mod:`repro.attacks` -- flush+reload, evict+reload, prime+probe,
+  flush+flush, evict+time, LRU, coherence attacks, and the GnuPG-style
+  RSA key-extraction attack.
+* :mod:`repro.workloads` -- synthetic SPEC2006/PARSEC-like benchmark
+  profiles driving the overhead experiments.
+* :mod:`repro.analysis` -- the experiment harness that regenerates every
+  table and figure of the paper's evaluation.
+"""
+
+from repro.common import SimConfig, scaled_experiment_config
+from repro.core import TimeCacheSystem
+from repro.memsys import AccessKind, AccessResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "AccessResult",
+    "SimConfig",
+    "TimeCacheSystem",
+    "scaled_experiment_config",
+    "__version__",
+]

@@ -1,0 +1,194 @@
+"""Command-line driver: regenerate the paper's artifacts from a shell.
+
+Usage (also available as ``python -m repro``):
+
+    python -m repro micro                  # Section VI-A1 microbenchmark
+    python -m repro rsa                    # Section VI-A2 RSA extraction
+    python -m repro table2 --pairs 6       # Table II / Figure 7 slice
+    python -m repro fig8                   # first-access MPKI per level
+    python -m repro fig9                   # PARSEC on 2 cores
+    python -m repro fig10                  # LLC size sensitivity
+    python -m repro attacks                # Section VII attack battery
+
+Each command prints the artifact in the paper's layout; ``--instructions``
+scales simulation length (longer = tighter match, slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.runner import (
+    llc_sensitivity_sweep,
+    parsec_sweep,
+    spec_pair_sweep,
+)
+from repro.analysis.tables import (
+    render_figure_series,
+    render_mpki_table,
+    render_table2,
+    summarize_overheads,
+)
+from repro.common import scaled_experiment_config
+from repro.common.units import geometric_mean
+from repro.workloads.mixes import (
+    PAPER_TABLE2_PARSEC,
+    PAPER_TABLE2_SPEC,
+    PARSEC_BENCHMARKS,
+    SPEC_MIXED_PAIRS,
+    SPEC_SAME_PAIRS,
+)
+
+
+def _cmd_micro(args: argparse.Namespace) -> int:
+    from repro.attacks.flush_reload import run_microbenchmark_attack
+
+    for label, config in (
+        ("baseline", scaled_experiment_config().baseline()),
+        ("TimeCache", scaled_experiment_config()),
+    ):
+        outcome = run_microbenchmark_attack(config, shared_lines=256)
+        print(
+            f"{label:<10} reload hits: {outcome.probe_hits}/"
+            f"{outcome.probe_total}"
+        )
+    return 0
+
+
+def _cmd_rsa(args: argparse.Namespace) -> int:
+    from repro.attacks.rsa import generate_key, run_rsa_attack
+
+    key = generate_key(seed=args.seed, prime_bits=28)
+    print(f"{len(key.d_bits)}-bit secret exponent")
+    for label, config in (
+        ("baseline", scaled_experiment_config(num_cores=2).baseline()),
+        ("TimeCache", scaled_experiment_config(num_cores=2)),
+    ):
+        result = run_rsa_attack(config, key=key)
+        print(
+            f"{label:<10} hits {result.probe_hits:5d}  recovered "
+            f"{len(result.recovered_bits):3d} bits  accuracy "
+            f"{result.accuracy:.1%}  key recovered: {result.key_recovered}"
+        )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    pairs = (SPEC_SAME_PAIRS + SPEC_MIXED_PAIRS)[: args.pairs or None]
+    results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+    print(render_table2(results, paper=PAPER_TABLE2_SPEC))
+    summary = summarize_overheads(results)
+    print(f"\ngeomean overhead {summary['geomean_overhead']:.4f} (paper 0.0113)")
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    pairs = SPEC_SAME_PAIRS[: args.pairs or 6]
+    results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+    print(render_mpki_table(results))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    benchmarks = PARSEC_BENCHMARKS[: args.pairs or None]
+    results = parsec_sweep(
+        benchmarks=benchmarks, instructions_per_thread=args.instructions
+    )
+    print(render_table2(results, paper=PAPER_TABLE2_PARSEC))
+    print()
+    print(render_mpki_table(results))
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    pairs = [("wrf", "wrf"), ("perlbench", "perlbench"), ("milc", "milc")]
+    sweep = llc_sensitivity_sweep(
+        pairs=pairs, llc_sizes_kib=(32, 64, 128), instructions=args.instructions
+    )
+    series = [
+        (f"{kib}KiB", geometric_mean([r.normalized_time for r in results]))
+        for kib, results in sweep.items()
+    ]
+    print(render_figure_series("normalized time vs LLC size", series))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import compare_defenses
+
+    comparison = compare_defenses(
+        scaled_experiment_config(num_cores=1, quantum_cycles=60_000),
+        bench_a=args.bench,
+        bench_b=args.bench,
+        instructions=args.instructions,
+    )
+    print(comparison.render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_sweep
+
+    pairs = (SPEC_SAME_PAIRS + SPEC_MIXED_PAIRS)[: args.pairs or 4]
+    results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+    path = export_sweep(results, args.output)
+    print(f"wrote {len(results)} results to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TimeCache (ISCA 2021) reproduction - artifact driver",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=150_000,
+        help="instructions per simulated process/thread",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("micro", help="Section VI-A1 microbenchmark")
+    sub.add_parser("rsa", help="Section VI-A2 RSA key extraction")
+    for name, help_text in (
+        ("table2", "Table II / Figure 7 SPEC sweep"),
+        ("fig8", "Figure 8 first-access MPKI per level"),
+        ("fig9", "Figure 9 PARSEC sweep"),
+        ("fig10", "Figure 10 LLC sensitivity"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--pairs", type=int, default=0, help="limit the workload count"
+        )
+    compare = sub.add_parser(
+        "compare", help="TimeCache vs partitioning on one pair"
+    )
+    compare.add_argument("--bench", default="perlbench")
+    export = sub.add_parser("export", help="run a sweep, write JSON results")
+    export.add_argument("--output", default="results.json")
+    export.add_argument("--pairs", type=int, default=0)
+    return parser
+
+
+_COMMANDS = {
+    "micro": _cmd_micro,
+    "rsa": _cmd_rsa,
+    "table2": _cmd_table2,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "compare": _cmd_compare,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

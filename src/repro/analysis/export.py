@@ -1,0 +1,129 @@
+"""Structured (JSON) export of experiment results.
+
+Downstream users want machine-readable output, not just the paper-layout
+text tables: this module serializes :class:`ExperimentResult` sweeps and
+:class:`DefenseComparison` reports into plain dict/JSON form with a
+stable schema, and can write a whole artifact bundle to a directory.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "kind": "spec_sweep" | "parsec_sweep" | "llc_sweep" | "comparison",
+      "results": [ {label, normalized_time, overhead, baseline: {...},
+                    timecache: {...}}, ... ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.analysis.comparison import DefenseComparison
+from repro.analysis.experiment import ExperimentResult, SingleRun
+
+SCHEMA_VERSION = 1
+
+
+def run_to_dict(run: SingleRun) -> Dict:
+    return {
+        "cycles": run.cycles,
+        "instructions": run.instructions,
+        "context_switches": run.context_switches,
+        "switch_bookkeeping_cycles": run.switch_bookkeeping_cycles,
+        "llc_mpki": run.llc_mpki,
+        "levels": {
+            name: {
+                "mpki": level.misses,
+                "first_access_mpki": level.first_access_misses,
+            }
+            for name, level in run.level_mpki.items()
+        },
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> Dict:
+    return {
+        "label": result.label,
+        "normalized_time": result.normalized_time,
+        "overhead": result.overhead,
+        "bookkeeping_fraction": result.bookkeeping_fraction,
+        "baseline": run_to_dict(result.baseline),
+        "timecache": run_to_dict(result.timecache),
+    }
+
+
+def sweep_to_dict(
+    results: Sequence[ExperimentResult], kind: str = "spec_sweep"
+) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "results": [result_to_dict(r) for r in results],
+    }
+
+
+def comparison_to_dict(comparison: DefenseComparison) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "comparison",
+        "workload": comparison.workload,
+        "defenses": {
+            name: {
+                "normalized_time": comparison.normalized_time(name),
+                "overhead": comparison.overhead(name),
+                "secure": report.secure,
+                "attack_hits": report.attack_hits,
+                "attack_probes": report.attack_probes,
+                "run": run_to_dict(report.run),
+            }
+            for name, report in comparison.reports.items()
+        },
+    }
+
+
+def save_json(payload: Mapping, path: Union[str, Path]) -> Path:
+    """Write a payload as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_json(path: Union[str, Path]) -> Dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {payload.get('schema')!r}"
+        )
+    return payload
+
+
+def export_sweep(
+    results: Sequence[ExperimentResult],
+    path: Union[str, Path],
+    kind: str = "spec_sweep",
+) -> Path:
+    """One-call sweep export."""
+    return save_json(sweep_to_dict(results, kind=kind), path)
+
+
+def summarize_json(payload: Mapping) -> Dict[str, float]:
+    """Aggregate a loaded sweep payload (geomean etc.) without rerunning."""
+    from repro.common.units import geometric_mean
+
+    ratios: List[float] = [
+        r["normalized_time"] for r in payload.get("results", [])
+    ]
+    if not ratios:
+        return {"count": 0}
+    return {
+        "count": len(ratios),
+        "geomean_normalized_time": geometric_mean(ratios),
+        "max_overhead": max(r - 1.0 for r in ratios),
+    }

@@ -1,0 +1,90 @@
+"""ASCII figure rendering for terminal output.
+
+The paper's Figures 7, 9a, and 10 are bar/line charts; these helpers
+render the same series as horizontal ASCII bars so the CLI, examples and
+benchmark logs can show the *shape* at a glance without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def ascii_bars(
+    title: str,
+    series: Iterable[Tuple[str, float]],
+    width: int = 50,
+    baseline: float = 0.0,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of (label, value) pairs.
+
+    ``baseline`` is subtracted before scaling — pass 1.0 for normalized
+    execution times so the bars show *overhead* (the paper's Figure 7
+    reads the same way: bars hovering just above 1.0).
+    """
+    rows: List[Tuple[str, float]] = list(series)
+    if not rows:
+        return f"{title}\n(no data)"
+    deltas = [max(0.0, value - baseline) for _, value in rows]
+    peak = max(deltas) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title, "=" * len(title)]
+    for (label, value), delta in zip(rows, deltas):
+        bar = "#" * max(1, int(round(width * delta / peak))) if delta > 0 else ""
+        lines.append(
+            f"{label:<{label_width}} | {bar:<{width}} {value:.4f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def figure7(results: Sequence) -> str:
+    """Figure 7: normalized execution time per workload (bars above 1.0)."""
+    series = [(r.label, r.normalized_time) for r in results]
+    return ascii_bars(
+        "Figure 7 — normalized execution time (TimeCache / baseline)",
+        series,
+        baseline=1.0,
+    )
+
+
+def figure9a(results: Sequence) -> str:
+    """Figure 9a: PARSEC normalized execution time."""
+    series = [(r.label, r.normalized_time) for r in results]
+    return ascii_bars(
+        "Figure 9a — PARSEC normalized execution time",
+        series,
+        baseline=1.0,
+    )
+
+
+def figure10(series: Sequence[Tuple[str, float]]) -> str:
+    """Figure 10: mean normalized time vs LLC size."""
+    return ascii_bars(
+        "Figure 10 — overhead vs LLC size",
+        series,
+        baseline=1.0,
+    )
+
+
+def latency_histogram_ascii(
+    title: str, latencies: Sequence[int], edges: Sequence[int], width: int = 40
+) -> str:
+    """Bucketized latency distribution (attack analysis helper)."""
+    buckets = [0] * (len(edges) + 1)
+    for value in latencies:
+        for i, edge in enumerate(edges):
+            if value <= edge:
+                buckets[i] += 1
+                break
+        else:
+            buckets[-1] += 1
+    peak = max(buckets) or 1
+    labels = [f"<= {edge}" for edge in edges] + [f"> {edges[-1]}"]
+    label_width = max(len(label) for label in labels)
+    lines = [title, "=" * len(title)]
+    for label, count in zip(labels, buckets):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{label:<{label_width}} | {bar} {count}")
+    return "\n".join(lines)

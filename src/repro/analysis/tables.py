@@ -1,0 +1,86 @@
+"""Text renderers that print rows/series like the paper's artifacts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.experiment import ExperimentResult
+from repro.common.units import geometric_mean
+
+
+def render_table2(
+    results: Sequence[ExperimentResult],
+    paper: Optional[Mapping[str, Tuple[float, float, float]]] = None,
+) -> str:
+    """Table II layout: workload, normalized time, baseline/TimeCache MPKI.
+
+    When ``paper`` is given, the published numbers are printed alongside
+    the measured ones for the EXPERIMENTS.md comparison.
+    """
+    lines: List[str] = []
+    header = (
+        f"{'Workload':<18} {'Overhead':>9} {'MPKI base':>10} {'MPKI tc':>9}"
+    )
+    if paper:
+        header += f"   {'paper-ovh':>9} {'paper-base':>10} {'paper-tc':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in results:
+        row = (
+            f"{result.label:<18} {result.normalized_time:>9.4f} "
+            f"{result.baseline.llc_mpki:>10.4f} "
+            f"{result.timecache.llc_mpki:>9.4f}"
+        )
+        if paper and result.label in paper:
+            p = paper[result.label]
+            row += f"   {p[0]:>9.4f} {p[1]:>10.4f} {p[2]:>9.4f}"
+        lines.append(row)
+    ratios = [r.normalized_time for r in results]
+    if ratios:
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'geomean':<18} {geometric_mean(ratios):>9.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_mpki_table(results: Sequence[ExperimentResult]) -> str:
+    """Figure 8/9b layout: first-access MPKI per cache level."""
+    lines: List[str] = []
+    header = (
+        f"{'Workload':<18} {'L1I fa-MPKI':>12} {'L1D fa-MPKI':>12} "
+        f"{'LLC fa-MPKI':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in results:
+        tc = result.timecache.level_mpki
+        lines.append(
+            f"{result.label:<18} "
+            f"{tc['L1I'].first_access_misses:>12.4f} "
+            f"{tc['L1D'].first_access_misses:>12.4f} "
+            f"{tc['LLC'].first_access_misses:>12.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure_series(
+    title: str, series: Iterable[Tuple[str, float]], unit: str = ""
+) -> str:
+    """A labeled one-dimensional series (Figure 7/9a/10 style)."""
+    lines = [title, "-" * len(title)]
+    for label, value in series:
+        lines.append(f"{label:<22} {value:>10.4f} {unit}")
+    return "\n".join(lines)
+
+
+def summarize_overheads(results: Sequence[ExperimentResult]) -> Dict[str, float]:
+    """Aggregate metrics the paper headlines."""
+    ratios = [r.normalized_time for r in results]
+    book = [r.bookkeeping_fraction for r in results]
+    return {
+        "geomean_normalized_time": geometric_mean(ratios) if ratios else 1.0,
+        "geomean_overhead": (geometric_mean(ratios) - 1.0) if ratios else 0.0,
+        "mean_bookkeeping_fraction": sum(book) / len(book) if book else 0.0,
+        "max_overhead": max((r - 1.0 for r in ratios), default=0.0),
+    }

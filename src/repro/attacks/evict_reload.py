@@ -1,0 +1,121 @@
+"""Evict+reload: flush+reload without ``clflush``.
+
+When the attacker cannot execute ``clflush`` (e.g. from a sandbox), it
+evicts the shared target line by filling the line's LLC set with its own
+private data (an *eviction set*), then reloads the target after the
+victim runs.  TimeCache breaks the reload exactly as it breaks
+flush+reload: after the victim refills the line, the attacker's reload is
+a first access.
+
+The eviction-set construction here uses the attacker's own mapped pages
+whose physical line addresses collide with the target's LLC set — the
+same congruence search a real attacker performs with large pages or
+timing probes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.attacks.base import AttackOutcome, SharedArrayScenario
+from repro.common.config import SimConfig
+from repro.common.errors import SimulationError
+from repro.cpu.isa import Exit, Fence, Load, Rdtsc, SleepOp
+from repro.cpu.program import Program, ProgramGen
+from repro.os.process import Process
+
+
+PRIVATE_BASE = 0x4000000
+
+
+def build_eviction_set(
+    scenario: SharedArrayScenario,
+    attacker: Process,
+    target_vaddr: int,
+    extra_ways: int = 1,
+) -> List[int]:
+    """Attacker-virtual addresses whose lines collide with the target's
+    LLC set; ``ways + extra_ways`` of them, enough to force the target
+    out under LRU."""
+    llc = scenario.kernel.system.hierarchy.llc
+    line_bytes = scenario.line_bytes
+    target_paddr = scenario.attacker_proc.address_space.translate(target_vaddr)
+    target_set = llc.set_index(target_paddr >> llc.config.line_bytes.bit_length() - 1)
+
+    pool_lines = llc.num_sets * (llc.ways + extra_ways + 2)
+    segment = scenario.kernel.phys.allocate_segment(
+        "attacker_private_pool", pool_lines * line_bytes
+    )
+    attacker.address_space.map_segment(segment, PRIVATE_BASE)
+
+    wanted = llc.ways + extra_ways
+    eviction_set: List[int] = []
+    for i in range(pool_lines):
+        vaddr = PRIVATE_BASE + i * line_bytes
+        paddr = attacker.address_space.translate(vaddr)
+        line = paddr >> (line_bytes.bit_length() - 1)
+        if llc.set_index(line) == target_set:
+            eviction_set.append(vaddr)
+            if len(eviction_set) == wanted:
+                return eviction_set
+    raise SimulationError(
+        f"could only find {len(eviction_set)}/{wanted} congruent lines"
+    )
+
+
+def run_evict_reload(
+    config: SimConfig,
+    secret_indices: Sequence[int] = (5,),
+    shared_lines: int = 32,
+    rounds: int = 4,
+    wait_cycles: int = 20_000,
+    monitored_line: int = None,
+) -> AttackOutcome:
+    """Monitor one shared line via evict+reload.
+
+    The attacker monitors ``monitored_line`` (default: the victim's first
+    secret line); the victim touches its secret lines each round.
+    ``probe_hits`` counts reload hits on the monitored line (baseline:
+    one per round when the victim touches it, zero when it does not;
+    TimeCache: always zero).
+    """
+    scenario = SharedArrayScenario(config, shared_lines=shared_lines)
+    if monitored_line is None:
+        monitored_line = secret_indices[0]
+    target = scenario.line_vaddr(monitored_line)
+    eviction_set = build_eviction_set(scenario, scenario.attacker_proc, target)
+    latencies: List[int] = []
+
+    def attacker() -> ProgramGen:
+        for _ in range(rounds):
+            # evict: walk the congruent set twice so LRU definitely cycles
+            for _rep in range(2):
+                for vaddr in eviction_set:
+                    yield Load(vaddr)
+            yield SleepOp(wait_cycles)
+            t0 = yield Rdtsc()
+            yield Fence()
+            yield Load(target)
+            yield Fence()
+            t1 = yield Rdtsc()
+            latencies.append(t1 - t0 - 3)
+        yield Exit()
+
+    def victim_program() -> ProgramGen:
+        # Touch the secret lines once per attacker round, sleeping in
+        # between so activity spans the whole attack (a long-running
+        # victim, like a crypto daemon handling periodic requests).
+        for _ in range(rounds):
+            for index in secret_indices:
+                for _rep in range(8):
+                    yield Load(scenario.line_vaddr(index))
+            yield SleepOp(wait_cycles)
+        yield Exit()
+
+    victim = Program("er_victim", victim_program)
+    scenario.launch(Program("evict_reload", attacker), victim)
+    scenario.run()
+    hits = sum(1 for lat in latencies if scenario.classify(lat))
+    return AttackOutcome(
+        probe_hits=hits, probe_total=len(latencies), latencies=latencies
+    )

@@ -1,0 +1,72 @@
+"""Flush+flush (Gruss et al.): timing ``clflush`` instead of a reload.
+
+``clflush`` completes faster when the line is *not* cached (it aborts
+early), so flushing a shared line twice with a victim window in between
+reveals whether the victim touched it — without the attacker ever loading
+the line, which defeats reload-based defenses.
+
+Section VII-C's mitigation is to make ``clflush`` constant-time
+(performing a dummy writeback when the line is absent);
+``TimeCacheConfig.constant_time_flush`` enables exactly that, and this
+attack observes the channel disappear.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.base import AttackOutcome, SharedArrayScenario
+from repro.attacks.victim import idle_victim, secret_indexed_victim
+from repro.common.config import SimConfig
+from repro.cpu.isa import Exit, Fence, Flush, Rdtsc, SleepOp
+from repro.cpu.program import Program, ProgramGen
+
+
+def run_flush_flush(
+    config: SimConfig,
+    victim_touches: bool = True,
+    rounds: int = 8,
+    wait_cycles: int = 15_000,
+    monitored_line: int = 3,
+) -> AttackOutcome:
+    """Time the second flush of a shared line around a victim window.
+
+    A "hit" is a flush whose latency indicates the line was cached (the
+    victim touched it).  With ``constant_time_flush`` every flush takes
+    the same time, so the classification threshold can never separate the
+    two cases.
+    """
+    scenario = SharedArrayScenario(config, shared_lines=16)
+    target = scenario.line_vaddr(monitored_line)
+    lat_cfg = config.hierarchy.latency
+    # Threshold between the uncached-abort latency and the cached latency.
+    flush_threshold = (lat_cfg.flush_uncached + lat_cfg.flush_cached) / 2.0
+    latencies: List[int] = []
+
+    def attacker() -> ProgramGen:
+        yield Flush(target)  # establish the flushed state
+        for _ in range(rounds):
+            yield SleepOp(wait_cycles)
+            t0 = yield Rdtsc()
+            yield Fence()
+            yield Flush(target)
+            yield Fence()
+            t1 = yield Rdtsc()
+            latencies.append(t1 - t0 - 3)
+        yield Exit()
+
+    if victim_touches:
+        victim = secret_indexed_victim(
+            scenario.line_vaddr, [monitored_line] * rounds * 4
+        )
+    else:
+        victim = idle_victim(cycles=wait_cycles * rounds)
+    scenario.launch(Program("flush_flush", attacker), victim)
+    scenario.run()
+    hits = sum(1 for lat in latencies if lat > flush_threshold)
+    return AttackOutcome(
+        probe_hits=hits,
+        probe_total=len(latencies),
+        latencies=latencies,
+        extra={"flush_threshold": flush_threshold},
+    )

@@ -1,0 +1,96 @@
+"""LRU-state attack (Section VII-A, after Xiong & Szefer).
+
+The attacker builds an eviction set for the LLC set holding a shared line
+``l``, accesses ``l`` and then ``w-1`` congruent lines (so ``l`` is the
+LRU candidate), waits for the victim, and finally accesses one more
+congruent line to force an eviction.  If the victim touched ``l`` in the
+window, the LRU refresh spares it and the attacker's timed re-access of
+``l`` hits; otherwise ``l`` was the victim of the forced eviction and the
+re-access misses.
+
+TimeCache does **not** close this channel — the attacker touched ``l``
+itself, so its s-bit is set and a surviving line hits legitimately.  The
+paper assigns this (like every eviction-set attack) to randomizing-cache
+defenses; this module exists to demonstrate that boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.base import AttackOutcome, SharedArrayScenario
+from repro.common.config import SimConfig
+from repro.common.errors import SimulationError
+from repro.cpu.isa import Compute, Exit, Fence, Load, Rdtsc, SleepOp
+from repro.cpu.program import Program, ProgramGen
+
+LRU_POOL_BASE = 0x5000000
+
+
+def run_lru_attack(
+    config: SimConfig,
+    victim_touches: bool = True,
+    rounds: int = 6,
+    wait_cycles: int = 10_000,
+    monitored_line: int = 0,
+) -> AttackOutcome:
+    """One monitored shared line, LRU-forced eviction, timed re-access.
+
+    ``probe_hits`` counts rounds where the re-access hit — i.e. rounds
+    the attacker concludes the victim touched the line.
+    """
+    scenario = SharedArrayScenario(config, shared_lines=4)
+    kernel = scenario.kernel
+    llc = kernel.system.hierarchy.llc
+    line_bytes = scenario.line_bytes
+    line_shift = line_bytes.bit_length() - 1
+    target = scenario.line_vaddr(monitored_line)
+    target_paddr = scenario.attacker_proc.address_space.translate(target)
+    target_set = llc.set_index(target_paddr >> line_shift)
+
+    pool_lines = llc.num_sets * (llc.ways + 4)
+    segment = kernel.phys.allocate_segment(
+        "lru_pool", pool_lines * line_bytes
+    )
+    scenario.attacker_proc.address_space.map_segment(segment, LRU_POOL_BASE)
+    congruent: List[int] = []
+    for i in range(pool_lines):
+        vaddr = LRU_POOL_BASE + i * line_bytes
+        paddr = scenario.attacker_proc.address_space.translate(vaddr)
+        if llc.set_index(paddr >> line_shift) == target_set:
+            congruent.append(vaddr)
+            if len(congruent) == llc.ways:
+                break
+    if len(congruent) < llc.ways:
+        raise SimulationError("could not build the LRU eviction set")
+
+    latencies: List[int] = []
+
+    def attacker() -> ProgramGen:
+        for _ in range(rounds):
+            yield Load(target)  # l becomes MRU, attacker s-bit set
+            for vaddr in congruent[:-1]:  # fill w-1 ways; l is now LRU
+                yield Load(vaddr)
+            yield SleepOp(wait_cycles)  # victim window
+            yield Load(congruent[-1])  # force one eviction in the set
+            t0 = yield Rdtsc()
+            yield Fence()
+            yield Load(target)
+            yield Fence()
+            t1 = yield Rdtsc()
+            latencies.append(t1 - t0 - 3)
+        yield Exit()
+
+    def victim() -> ProgramGen:
+        for _ in range(rounds * 4):
+            if victim_touches:
+                yield Load(target)
+            yield Compute(wait_cycles // 4)
+        yield Exit()
+
+    scenario.launch(Program("lru_attack", attacker), Program("lru_victim", victim))
+    scenario.run()
+    hits = sum(1 for lat in latencies if scenario.classify(lat))
+    return AttackOutcome(
+        probe_hits=hits, probe_total=len(latencies), latencies=latencies
+    )

@@ -1,0 +1,124 @@
+"""Spectre-style leak through the reuse covert channel (Section VIII).
+
+Spectre variants leak *speculatively* loaded secrets through a
+conventional cache covert channel — the paper's argument is that "by
+breaking conventional cache attacks, we also prevent speculative side
+channel leaks", because the transmit end of every Spectre attack is
+exactly the flush+reload reuse channel TimeCache eliminates.
+
+The blocking CPU model has no speculation engine, so the *transient*
+part is modeled explicitly: the victim gadget performs the squashed
+bounds-violating access as a microarchitectural-only load (its value is
+discarded — precisely what a mispredicted path does to the cache).  The
+secret byte indexes a 256-line shared probe array; the attacker recovers
+the byte with flush+reload over the array.
+
+Under TimeCache the attacker's reloads are all first accesses: the
+covert channel's receive end reads nothing, so the speculative leak
+dies at transmission — the paper's Section VIII claim, end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.attacks.base import hit_threshold
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
+from repro.cpu.isa import Compute, Exit, Fence, Flush, Load, Rdtsc
+from repro.cpu.program import Program, ProgramGen
+from repro.os.kernel import Kernel
+
+PROBE_BASE = 0x800000
+PROBE_LINES = 256
+
+
+@dataclass
+class SpectreResult:
+    """Outcome of the Spectre-style covert-channel run."""
+
+    secret: int
+    recovered: Optional[int]
+    probe_hits: int
+    latencies: List[int]
+
+    @property
+    def leaked(self) -> bool:
+        return self.recovered == self.secret
+
+
+def run_spectre_covert_channel(
+    config: SimConfig,
+    secret: int = 0x5A,
+    rounds: int = 3,
+    wait_cycles: int = 40_000,
+) -> SpectreResult:
+    """Leak one secret byte through a speculatively-touched shared line.
+
+    Attacker on context 0 flushes the 256-line probe array and waits; the
+    victim on context 1 executes the gadget (the transient, value-
+    discarding load of ``probe[secret * 64]``); the attacker reloads all
+    256 lines and takes the hit index as the secret byte.
+    """
+    if not 0 <= secret < PROBE_LINES:
+        raise ConfigError(f"secret byte out of range: {secret}")
+    if config.hierarchy.num_hw_contexts < 2:
+        raise ConfigError("the Spectre demo needs two hardware contexts")
+    kernel = Kernel(config)
+    line_bytes = config.hierarchy.line_bytes
+    probe = kernel.phys.allocate_segment(
+        "spectre_probe", PROBE_LINES * line_bytes, content_key="shared-probe"
+    )
+    attacker_proc = kernel.create_process("spectre_attacker")
+    victim_proc = kernel.create_process("spectre_victim")
+    attacker_proc.address_space.map_segment(probe, PROBE_BASE)
+    victim_proc.address_space.map_segment(probe, PROBE_BASE)
+    threshold = hit_threshold(config)
+    latencies: List[int] = []
+    hit_votes: List[int] = []
+
+    def attacker() -> ProgramGen:
+        for _ in range(rounds):
+            for i in range(PROBE_LINES):
+                yield Flush(PROBE_BASE + i * line_bytes)
+            yield Compute(wait_cycles)
+            for i in range(PROBE_LINES):
+                t0 = yield Rdtsc()
+                yield Fence()
+                yield Load(PROBE_BASE + i * line_bytes)
+                yield Fence()
+                t1 = yield Rdtsc()
+                latency = t1 - t0 - 3
+                latencies.append(latency)
+                if latency < threshold:
+                    hit_votes.append(i)
+        yield Exit()
+
+    def victim_gadget() -> ProgramGen:
+        # if (x < bounds) { y = probe[secret_byte * line]; }  -- with a
+        # mispredicted branch: the load executes transiently and its
+        # value is squashed, but the line is now cached.
+        while True:
+            yield Compute(wait_cycles // 8)
+            yield Load(PROBE_BASE + secret * line_bytes)  # transient load
+            # (squash: the architectural result is discarded)
+
+    ta = attacker_proc.spawn(Program("spectre_recv", attacker), affinity=0)
+    tv = victim_proc.spawn(
+        Program("spectre_gadget", victim_gadget),
+        affinity=1 if config.hierarchy.num_hw_contexts > 1 else 0,
+    )
+    kernel.submit(ta)
+    kernel.submit(tv)
+    kernel.run(stop_when=lambda k: k.task_done(ta), max_steps=20_000_000)
+
+    recovered: Optional[int] = None
+    if hit_votes:
+        recovered = max(set(hit_votes), key=hit_votes.count)
+    return SpectreResult(
+        secret=secret,
+        recovered=recovered,
+        probe_hits=len(hit_votes),
+        latencies=latencies,
+    )

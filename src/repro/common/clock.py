@@ -1,0 +1,47 @@
+"""Global simulation clock.
+
+The whole simulation shares one monotonically non-decreasing cycle counter.
+Cache-line fill timestamps (``Tc``) and context-switch timestamps (``Ts``)
+are both snapshots of this clock, truncated to the configured timestamp
+width by :mod:`repro.core.timestamp`.
+"""
+
+from __future__ import annotations
+
+
+class GlobalClock:
+    """A monotonically non-decreasing cycle counter.
+
+    Cores advance their *local* time independently (a blocking CPU model);
+    the global clock tracks the frontier used for timestamping cache fills.
+    ``advance_to`` never moves backwards, which keeps ``Tc`` assignment
+    monotone even when cores are stepped out of order.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start negative, got {start}")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current global cycle count (untruncated, unbounded int)."""
+        return self._now
+
+    def tick(self, cycles: int = 1) -> int:
+        """Advance the clock by ``cycles`` and return the new time."""
+        if cycles < 0:
+            raise ValueError(f"cannot tick backwards by {cycles}")
+        self._now += cycles
+        return self._now
+
+    def advance_to(self, when: int) -> int:
+        """Move the clock to ``when`` if that is in the future; no-op else."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalClock(now={self._now})"

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the TimeCache reproduction.
+
+A single root (:class:`ReproError`) lets callers catch everything the
+library raises deliberately, while the subclasses keep failure categories
+distinguishable in tests.
+"""
+
+
+class ReproError(Exception):
+    """Root of all exceptions deliberately raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached a state that violates its own invariants."""
+
+
+class SchedulerError(ReproError):
+    """An OS-layer scheduling operation was invalid (e.g. unknown process)."""
+
+
+class ProgramError(ReproError):
+    """A simulated program yielded an operation the CPU cannot execute."""

@@ -1,0 +1,163 @@
+"""Lightweight statistics primitives used across the simulator.
+
+Each simulated component owns a :class:`StatGroup`; the experiment harness
+(:mod:`repro.analysis`) reads the groups after a run to build the paper's
+tables and figures.  Everything is plain counters — there is no sampling
+and no loss of precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class RatioStat:
+    """A numerator/denominator pair reported as a ratio (e.g. hit rate)."""
+
+    __slots__ = ("name", "numerator", "denominator")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.numerator = 0
+        self.denominator = 0
+
+    def record(self, hit: bool) -> None:
+        self.denominator += 1
+        if hit:
+            self.numerator += 1
+
+    @property
+    def ratio(self) -> float:
+        if self.denominator == 0:
+            return 0.0
+        return self.numerator / self.denominator
+
+    def reset(self) -> None:
+        self.numerator = 0
+        self.denominator = 0
+
+
+class Histogram:
+    """A fixed-bucket histogram for latency distributions.
+
+    Buckets are defined by their (inclusive) upper edges; one overflow
+    bucket catches everything beyond the last edge.  Attack analysis uses
+    this to classify accesses into hit/miss latency classes.
+    """
+
+    def __init__(self, name: str, edges: Iterable[int]) -> None:
+        self.name = name
+        self.edges: Tuple[int, ...] = tuple(sorted(edges))
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.total = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        self.total += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def fraction_at_or_below(self, edge: int) -> float:
+        """Fraction of samples in buckets whose edge is <= ``edge``."""
+        if self.total == 0:
+            return 0.0
+        covered = sum(
+            c for e, c in zip(self.edges, self.counts) if e <= edge
+        )
+        return covered / self.total
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+
+class StatGroup:
+    """A named collection of counters/ratios/histograms.
+
+    Components create stats lazily through :meth:`counter` etc., so the
+    harness can snapshot whatever exists without a fixed schema.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._ratios: Dict[str, RatioStat] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def ratio(self, name: str) -> RatioStat:
+        if name not in self._ratios:
+            self._ratios[name] = RatioStat(name)
+        return self._ratios[name]
+
+    def histogram(self, name: str, edges: Iterable[int]) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, edges)
+        return self._histograms[name]
+
+    def get(self, name: str) -> int:
+        """Value of a counter, 0 if it was never created."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """All counter values keyed as ``group.counter``."""
+        return {
+            f"{self.name}.{name}": c.value
+            for name, c in sorted(self._counters.items())
+        }
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for r in self._ratios.values():
+            r.reset()
+        for h in self._histograms.values():
+            h.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StatGroup({self.name}, {self.snapshot()})"

@@ -1,0 +1,75 @@
+"""Unit helpers: sizes, time/cycle conversions, and simple aggregates."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+def cycles_from_ns(nanoseconds: float, clock_ghz: float) -> int:
+    """Convert a wall-clock duration in nanoseconds to CPU cycles.
+
+    The paper injects measured wall-clock constants (e.g. the 1.08 us DMA
+    transfer for s-bit save/restore) into a simulator with a known clock;
+    this helper performs the same conversion.
+    """
+    if clock_ghz <= 0:
+        raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+    return int(round(nanoseconds * clock_ghz))
+
+
+def cycles_from_us(microseconds: float, clock_ghz: float) -> int:
+    """Convert microseconds to CPU cycles (see :func:`cycles_from_ns`)."""
+    return cycles_from_ns(microseconds * 1000.0, clock_ghz)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, as used by the paper for overhead aggregation.
+
+    Raises ``ValueError`` on empty input or non-positive entries, both of
+    which indicate a harness bug rather than a legitimate measurement.
+    """
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    total = 0.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric_mean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(values))
+
+
+def mpki(events: int, instructions: int) -> float:
+    """Events (e.g. misses) per thousand instructions.
+
+    Returns 0.0 for a zero-instruction run rather than raising: partial
+    statistics snapshots taken before any instruction retires are legal.
+    """
+    if instructions <= 0:
+        return 0.0
+    return 1000.0 * events / instructions
+
+
+def pretty_size(num_bytes: int) -> str:
+    """Human-readable size string (``32K``, ``2M``) matching paper notation."""
+    if num_bytes % MIB == 0:
+        return f"{num_bytes // MIB}M"
+    if num_bytes % KIB == 0:
+        return f"{num_bytes // KIB}K"
+    return f"{num_bytes}B"
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def checked_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean that raises on empty input instead of NaN."""
+    seq = list(values)
+    if not seq:
+        raise ValueError("mean of empty sequence")
+    return sum(seq) / len(seq)

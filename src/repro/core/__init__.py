@@ -1,0 +1,40 @@
+"""The paper's contribution: TimeCache.
+
+This package implements the mechanisms of Sections IV and V on top of the
+:mod:`repro.memsys` substrate:
+
+* :mod:`repro.core.timestamp` — the finite-width Tc/Ts timestamp domain
+  with rollover semantics (Section VI-C).
+* :mod:`repro.core.transpose` — the 8-T transposed SRAM array holding the
+  per-line timestamps and s-bits (Figure 5).
+* :mod:`repro.core.comparator` — the bit-serial, timestamp-parallel
+  comparison logic (Figure 6), modeled at gate level (two SR latches and
+  two AND gates per bitline, a shift register for Ts) and property-tested
+  against plain unsigned ``Tc > Ts``.
+* :mod:`repro.core.sbits` — the saved per-process caching context
+  (software side of the s-bit save/restore).
+* :mod:`repro.core.context` — the context-switch engine that saves,
+  restores, and comparator-updates s-bits, with the paper's DMA cost
+  model (Section VI-D).
+* :mod:`repro.core.timecache` — :class:`TimeCacheSystem`, the public
+  facade that the CPU/OS layers (and library users) drive.
+"""
+
+from repro.core.comparator import BitSerialComparator, ComparatorResult
+from repro.core.context import ContextSwitchEngine, SwitchCost
+from repro.core.sbits import SavedCachingContext, TaskCachingState
+from repro.core.timecache import TimeCacheSystem
+from repro.core.timestamp import TimestampDomain
+from repro.core.transpose import TransposeSram
+
+__all__ = [
+    "BitSerialComparator",
+    "ComparatorResult",
+    "ContextSwitchEngine",
+    "SavedCachingContext",
+    "SwitchCost",
+    "TaskCachingState",
+    "TimeCacheSystem",
+    "TimestampDomain",
+    "TransposeSram",
+]

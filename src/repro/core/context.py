@@ -1,0 +1,143 @@
+"""Context-switch engine: save, restore, and comparator-update s-bits.
+
+This is the hardware/software hand-off of Sections IV-C and V-B.  At a
+CR3 change (a context switch in the OS layer):
+
+1. software saves the outgoing task's s-bit columns from every cache its
+   hardware context shares, stamped with the full current time (``Ts``);
+2. software restores the incoming task's saved columns (all-zero for a
+   new task, for a task migrating to a different core, or under the
+   ``reset_sbits_on_switch`` ablation);
+3. hardware repairs staleness: for each cache, every slot whose truncated
+   fill time ``Tc`` exceeds the truncated ``Ts`` has the incoming
+   context's s-bit cleared — via the bit-serial comparator;
+4. if a timestamp rollover occurred between the save and now, all s-bits
+   are conservatively cleared instead (Section VI-C).
+
+The engine also accounts the cost: the paper measured 1.08 us for a DMA
+save/restore of an LLC-sized s-bit array and injected that constant per
+switch into gem5; :class:`SwitchCost` carries the same constant (from
+``TimeCacheConfig.sbit_dma_cycles``) plus the comparator's bits+2 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.config import TimeCacheConfig
+from repro.common.stats import StatGroup
+from repro.core.comparator import BitSerialComparator
+from repro.core.sbits import SavedCachingContext, TaskCachingState
+from repro.core.timestamp import TimestampDomain
+from repro.core.transpose import TransposeSram
+from repro.memsys.cache import Cache
+from repro.memsys.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class SwitchCost:
+    """Cycles a context switch spends on TimeCache bookkeeping."""
+
+    dma_cycles: int
+    comparator_cycles: int
+    rollover_reset: bool
+
+    @property
+    def total(self) -> int:
+        return self.dma_cycles + self.comparator_cycles
+
+
+class ContextSwitchEngine:
+    """Drives the s-bit save/restore protocol against a hierarchy."""
+
+    def __init__(self, hierarchy: MemoryHierarchy, config: TimeCacheConfig) -> None:
+        self.hierarchy = hierarchy
+        self.config = config
+        self.domain = TimestampDomain(config.timestamp_bits)
+        self.comparator = BitSerialComparator(self.domain)
+        self.stats = StatGroup("context_switch")
+
+    # ------------------------------------------------------------------
+    def save(self, task: TaskCachingState, ctx: int, now_full: int) -> None:
+        """Snapshot the outgoing task's s-bits and stamp Ts (software)."""
+        if not self.config.enabled:
+            return
+        if self.config.reset_sbits_on_switch:
+            # Ablation: drop the caching context entirely.  Equivalent in
+            # effect to flushing the task's view of the cache per switch.
+            task.record_save(SavedCachingContext(ts_full=now_full))
+            self._clear_all(ctx)
+            return
+        context = SavedCachingContext(ts_full=now_full)
+        for cache in self.hierarchy.caches_for_ctx(ctx):
+            context.sbits_by_cache[cache.name] = cache.save_sbits(ctx)
+        task.record_save(context)
+        self.stats.counter("saves").add()
+
+    def restore(self, task: TaskCachingState, ctx: int, now_full: int) -> SwitchCost:
+        """Restore the incoming task's s-bits and repair staleness.
+
+        Returns the modeled bookkeeping cost; the caller (scheduler)
+        charges it to the incoming task.
+        """
+        if not self.config.enabled:
+            return SwitchCost(0, 0, False)
+        self.stats.counter("restores").add()
+        saved = task.saved
+        caches = self.hierarchy.caches_for_ctx(ctx)
+        rollover = False
+        if saved is not None and self.domain.rolled_over_between(
+            saved.ts_full, now_full
+        ):
+            rollover = True
+            self.stats.counter("rollover_resets").add()
+
+        comparator_cycles = 0
+        for cache in caches:
+            saved_bits = saved.bits_for(cache) if (saved and not rollover) else None
+            cache.restore_sbits(ctx, saved_bits)
+            if saved_bits is None:
+                # Nothing restored (new task, migration, rollover, or the
+                # reset ablation): the column is already all-clear and the
+                # comparator scan would clear nothing.
+                continue
+            comparator_cycles += self._comparator_update(
+                cache, ctx, saved.ts_full
+            )
+        dma = self.config.sbit_dma_cycles
+        return SwitchCost(dma, comparator_cycles, rollover)
+
+    # ------------------------------------------------------------------
+    def _comparator_update(self, cache: Cache, ctx: int, ts_full: int) -> int:
+        """Clear the context's s-bits where ``Tc > Ts`` (hardware)."""
+        ts_trunc = self.domain.truncate(ts_full)
+        flat_tc = cache.tc.reshape(-1)
+        if self.config.gate_level_comparator:
+            result = self.comparator.compare_values(flat_tc, ts_trunc)
+        else:
+            result = self.comparator.fast_compare(flat_tc, ts_trunc)
+        mask = result.reset_mask.reshape(cache.tc.shape)
+        cleared = cache.clear_sbits_where(ctx, mask)
+        self.stats.counter("sbits_cleared_by_comparator").add(cleared)
+        return result.cycles
+
+    def _clear_all(self, ctx: int) -> None:
+        for cache in self.hierarchy.caches_for_ctx(ctx):
+            cache.clear_all_sbits(ctx)
+
+    # ------------------------------------------------------------------
+    def build_transposed_view(self, cache: Cache) -> TransposeSram:
+        """The cache's Tc array as the hardware's transposed SRAM (used by
+        fidelity tests and the gate-level demo in the examples)."""
+        sram = TransposeSram(words=cache.tc.size, bits=self.domain.bits)
+        sram.load_words(cache.tc.reshape(-1))
+        return sram
+
+    def save_restore_transfers(self) -> List[int]:
+        """Per-cache 64-byte transfer counts for one save or restore
+        (the Section VI-D arithmetic: 2 for a 64KB L1, 256 for 8MB)."""
+        return [
+            cache.sbit_save_transfers()
+            for cache in self.hierarchy.all_caches()
+        ]

@@ -1,0 +1,152 @@
+"""The public facade: :class:`TimeCacheSystem`.
+
+Bundles the substrate (clock, hierarchy) with the contribution (context
+engine) behind one object that the CPU layer, the OS layer, examples and
+tests all drive.  Construct one from a :class:`~repro.common.config.SimConfig`
+— with ``timecache.enabled`` True for the defended system or False for the
+baseline — and issue accesses, flushes, and context switches.
+
+Quickstart::
+
+    from repro.common import scaled_experiment_config
+    from repro.core import TimeCacheSystem
+    from repro.memsys import AccessKind
+
+    system = TimeCacheSystem(scaled_experiment_config())
+    r = system.access(ctx=0, addr=0x1000, kind=AccessKind.LOAD, now=0)
+    assert r.level == "DRAM"          # cold miss
+    r = system.access(ctx=0, addr=0x1000, kind=AccessKind.LOAD, now=300)
+    assert r.level == "L1"            # warm hit
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.clock import GlobalClock
+from repro.common.config import SimConfig
+from repro.common.rng import DeterministicRng
+from repro.core.context import ContextSwitchEngine, SwitchCost
+from repro.core.sbits import TaskCachingState
+from repro.memsys.hierarchy import AccessKind, AccessResult, MemoryHierarchy
+
+
+class TimeCacheSystem:
+    """A complete simulated machine: hierarchy + TimeCache + clock."""
+
+    def __init__(self, config: SimConfig) -> None:
+        config.validate()
+        self.config = config
+        self.clock = GlobalClock()
+        self.rng = DeterministicRng(config.seed)
+        self.hierarchy = MemoryHierarchy(
+            config.hierarchy,
+            timecache=config.timecache,
+            clock=self.clock,
+            rng=self.rng.fork("hierarchy"),
+        )
+        if config.partition.enabled:
+            self.hierarchy.enable_partitioning(config.partition.domains)
+        self.context_engine = ContextSwitchEngine(self.hierarchy, config.timecache)
+        self._task_state: Dict[int, TaskCachingState] = {}
+        #: partitioning baseline: security domain per task id (assigned
+        #: round-robin on first sight, like CLOS assignment per process)
+        self._task_domain: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Memory operations (thin passthroughs with the shared clock)
+    # ------------------------------------------------------------------
+    def access(
+        self, ctx: int, addr: int, kind: AccessKind, now: Optional[int] = None
+    ) -> AccessResult:
+        """One blocking memory access; ``now`` defaults to the global clock."""
+        when = self.clock.now if now is None else now
+        return self.hierarchy.access(ctx, addr, kind, when)
+
+    def load(self, ctx: int, addr: int, now: Optional[int] = None) -> AccessResult:
+        return self.access(ctx, addr, AccessKind.LOAD, now)
+
+    def store(self, ctx: int, addr: int, now: Optional[int] = None) -> AccessResult:
+        return self.access(ctx, addr, AccessKind.STORE, now)
+
+    def ifetch(self, ctx: int, addr: int, now: Optional[int] = None) -> AccessResult:
+        return self.access(ctx, addr, AccessKind.IFETCH, now)
+
+    def flush(self, ctx: int, addr: int, now: Optional[int] = None) -> AccessResult:
+        """clflush the line holding ``addr`` from every level."""
+        when = self.clock.now if now is None else now
+        return self.hierarchy.flush(ctx, addr, when)
+
+    # ------------------------------------------------------------------
+    # Task caching-context management (what the OS calls at CR3 changes)
+    # ------------------------------------------------------------------
+    def task_state(self, task_id: int) -> TaskCachingState:
+        if task_id not in self._task_state:
+            self._task_state[task_id] = TaskCachingState(task_id)
+        return self._task_state[task_id]
+
+    def context_switch(
+        self,
+        outgoing_task: Optional[int],
+        incoming_task: int,
+        ctx: int,
+        now: Optional[int] = None,
+    ) -> SwitchCost:
+        """Switch hardware context ``ctx`` between two tasks.
+
+        Saves the outgoing task's s-bits (if any task was running),
+        restores the incoming task's, runs the timestamp comparator, and
+        returns the bookkeeping cost the scheduler should charge.
+        """
+        when = self.clock.now if now is None else now
+        self.clock.advance_to(when)
+        if self.config.partition.enabled:
+            return self._partition_switch(outgoing_task, incoming_task, ctx)
+        if outgoing_task is not None:
+            self.context_engine.save(self.task_state(outgoing_task), ctx, when)
+        return self.context_engine.restore(self.task_state(incoming_task), ctx, when)
+
+    def _partition_switch(
+        self, outgoing_task: Optional[int], incoming_task: int, ctx: int
+    ) -> SwitchCost:
+        """The comparison baseline's switch path (Apparition-style):
+        flush the outgoing domain's LLC ways and the core's private
+        caches, then program the incoming task's domain into the context.
+        The flush cost is charged like the s-bit DMA would be."""
+        hierarchy = self.hierarchy
+        flushed = 0
+        if outgoing_task is not None:
+            out_domain = self._domain_for(outgoing_task)
+            in_domain = self._domain_for(incoming_task)
+            if out_domain != in_domain:
+                flushed += hierarchy.flush_domain_ways(out_domain)
+                flushed += hierarchy.flush_private_caches(
+                    hierarchy.core_of_ctx(ctx)
+                )
+        hierarchy.set_domain(ctx, self._domain_for(incoming_task))
+        # ~1 cycle per flushed line of tag-walk cost, as a flat estimate.
+        return SwitchCost(
+            dma_cycles=flushed, comparator_cycles=0, rollover_reset=False
+        )
+
+    def _domain_for(self, task_id: int) -> int:
+        if task_id not in self._task_domain:
+            self._task_domain[task_id] = (
+                len(self._task_domain) % self.config.partition.domains
+            )
+        return self._task_domain[task_id]
+
+    # ------------------------------------------------------------------
+    @property
+    def timecache_enabled(self) -> bool:
+        return self.config.timecache.enabled
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """All counters from every cache plus the context engine."""
+        merged: Dict[str, int] = {}
+        for cache in self.hierarchy.all_caches():
+            merged.update(cache.stats.snapshot())
+        merged.update(self.hierarchy.stats.snapshot())
+        merged.update(self.hierarchy.dram.stats.snapshot())
+        merged.update(self.context_engine.stats.snapshot())
+        return merged

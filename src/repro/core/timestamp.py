@@ -1,0 +1,86 @@
+"""Finite-width timestamp domain with rollover semantics (Section VI-C).
+
+Hardware stores per-line fill times ``Tc`` truncated to a configurable
+width (the paper uses 32 bits; tests use tiny widths to exercise
+rollover).  Software keeps the *full* preemption time for each process, so
+rollover between preemption and resumption can be detected exactly — the
+paper's rule set is:
+
+* preempted before / resumed after a rollover → conservatively reset
+  **all** s-bits (newer lines may carry smaller, wrapped Tc values);
+* running across a rollover → nothing to do, s-bits are already live;
+* no rollover in between → compare truncated values; pre-rollover lines
+  with large stale Tc may cause *unnecessary* resets, which is a
+  performance artifact, never a correctness problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimestampDomain:
+    """Arithmetic over ``bits``-wide wrapping timestamps."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 64:
+            raise ConfigError(f"timestamp width must be in [2, 64], got {self.bits}")
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def mask(self) -> int:
+        return self.modulus - 1
+
+    def truncate(self, full_time: int) -> int:
+        """The ``bits`` low-order bits of a full cycle count — what the
+        hardware timestamp SRAM actually stores."""
+        if full_time < 0:
+            raise ValueError(f"time cannot be negative, got {full_time}")
+        return full_time & self.mask
+
+    def epoch(self, full_time: int) -> int:
+        """Which rollover period a full cycle count falls in."""
+        if full_time < 0:
+            raise ValueError(f"time cannot be negative, got {full_time}")
+        return full_time >> self.bits
+
+    def rolled_over_between(self, earlier_full: int, later_full: int) -> bool:
+        """True when at least one rollover happened in (earlier, later].
+
+        Software evaluates this at process resumption with the saved full
+        preemption time and the current full time; hardware only ever sees
+        truncated values.
+        """
+        if later_full < earlier_full:
+            raise ValueError(
+                f"later time {later_full} precedes earlier time {earlier_full}"
+            )
+        return self.epoch(later_full) != self.epoch(earlier_full)
+
+    def compare_truncated(self, tc: int, ts: int) -> bool:
+        """The hardware predicate: unsigned ``tc > ts`` on truncated values.
+
+        This is exactly what the bit-serial comparator computes; callers
+        must have handled rollover (see :meth:`rolled_over_between`)
+        before trusting the result.
+        """
+        if not 0 <= tc <= self.mask:
+            raise ValueError(f"tc {tc} out of range for {self.bits}-bit domain")
+        if not 0 <= ts <= self.mask:
+            raise ValueError(f"ts {ts} out of range for {self.bits}-bit domain")
+        return tc > ts
+
+    def to_bits_msb_first(self, value: int) -> list:
+        """Bit expansion, MSB first — the order the shift register feeds
+        the comparison logic."""
+        if not 0 <= value <= self.mask:
+            raise ValueError(f"value {value} out of range for {self.bits} bits")
+        return [(value >> (self.bits - 1 - i)) & 1 for i in range(self.bits)]

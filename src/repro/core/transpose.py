@@ -1,0 +1,120 @@
+"""Functional model of the transposed 8-T SRAM timestamp array (Figure 5).
+
+The paper stores the per-line ``Tc`` timestamps (and the s-bits) in a
+separate SRAM array built from 8-T multi-access cells, readable through
+two interfaces:
+
+* the **transpose interface** — one whole word (a line's timestamp or its
+  s-bit row) per access; used during normal cache operation when a fill
+  writes a new Tc or an access reads/sets an s-bit;
+* the **regular bit-line interface** — one *bit position across all
+  words* per access; used at context switches for the bit-serial,
+  timestamp-parallel comparison, and for bulk s-bit saves/restores.
+
+The model stores the array as a (bits x words) boolean matrix so the two
+interfaces are literally row and column slices, and it counts accesses per
+interface so tests can assert that a whole-cache comparison costs one
+regular-interface access per timestamp bit — the paper's key latency
+claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatGroup
+
+
+class TransposeSram:
+    """A (bits x words) bit matrix with word-wise and bit-slice access."""
+
+    def __init__(self, words: int, bits: int) -> None:
+        if words <= 0:
+            raise SimulationError(f"words must be positive, got {words}")
+        if bits <= 0:
+            raise SimulationError(f"bits must be positive, got {bits}")
+        self.words = words
+        self.bits = bits
+        #: row i holds bit position i (MSB = row 0) of every word
+        self._array = np.zeros((bits, words), dtype=bool)
+        self.stats = StatGroup("transpose_sram")
+
+    # ------------------------------------------------------------------
+    # Transpose interface: whole-word access (normal cache operation)
+    # ------------------------------------------------------------------
+    def write_word(self, word_idx: int, value: int) -> None:
+        """Store ``value`` into word ``word_idx`` (a cache fill writing Tc)."""
+        self._check_word(word_idx)
+        if not 0 <= value < (1 << self.bits):
+            raise SimulationError(
+                f"value {value} does not fit in {self.bits} bits"
+            )
+        for i in range(self.bits):
+            self._array[i, word_idx] = bool((value >> (self.bits - 1 - i)) & 1)
+        self.stats.counter("word_writes").add()
+
+    def read_word(self, word_idx: int) -> int:
+        """Read word ``word_idx`` through the transpose interface."""
+        self._check_word(word_idx)
+        self.stats.counter("word_reads").add()
+        value = 0
+        for i in range(self.bits):
+            value = (value << 1) | int(self._array[i, word_idx])
+        return value
+
+    # ------------------------------------------------------------------
+    # Regular bit-line interface: one bit position across all words
+    # ------------------------------------------------------------------
+    def read_bit_slice(self, bit_idx: int) -> np.ndarray:
+        """Bit ``bit_idx`` (0 = MSB) of every word, as a bool vector.
+
+        One call models one cycle of the bit-serial comparison: all
+        bitlines are sensed in parallel.
+        """
+        self._check_bit(bit_idx)
+        self.stats.counter("bit_slice_reads").add()
+        return self._array[bit_idx].copy()
+
+    def write_bit_slice(self, bit_idx: int, values: np.ndarray) -> None:
+        """Write a full bit position (bulk s-bit restore path)."""
+        self._check_bit(bit_idx)
+        if values.shape != (self.words,):
+            raise SimulationError(
+                f"bit slice shape {values.shape} != ({self.words},)"
+            )
+        self._array[bit_idx] = values.astype(bool)
+        self.stats.counter("bit_slice_writes").add()
+
+    # ------------------------------------------------------------------
+    # Bulk helpers used to mirror a cache's Tc array into the model
+    # ------------------------------------------------------------------
+    def load_words(self, values: np.ndarray) -> None:
+        """Load a flat vector of ``words`` integers (e.g. a cache's Tc
+        array) into the matrix in transposed form."""
+        flat = np.asarray(values, dtype=np.int64).reshape(-1)
+        if flat.shape != (self.words,):
+            raise SimulationError(
+                f"expected {self.words} words, got {flat.shape}"
+            )
+        if flat.min(initial=0) < 0 or (
+            flat.max(initial=0) >= (1 << self.bits)
+        ):
+            raise SimulationError(f"values do not fit in {self.bits} bits")
+        for i in range(self.bits):
+            self._array[i] = ((flat >> (self.bits - 1 - i)) & 1).astype(bool)
+
+    def dump_words(self) -> np.ndarray:
+        """The stored words as a flat int64 vector (test helper)."""
+        out = np.zeros(self.words, dtype=np.int64)
+        for i in range(self.bits):
+            out = (out << 1) | self._array[i].astype(np.int64)
+        return out
+
+    def _check_word(self, word_idx: int) -> None:
+        if not 0 <= word_idx < self.words:
+            raise SimulationError(f"word index {word_idx} out of range")
+
+    def _check_bit(self, bit_idx: int) -> None:
+        if not 0 <= bit_idx < self.bits:
+            raise SimulationError(f"bit index {bit_idx} out of range")

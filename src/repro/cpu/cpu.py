@@ -1,0 +1,182 @@
+"""The hardware-context executor (blocking, TimingSimpleCPU-style).
+
+One :class:`HardwareContext` models one logical CPU (a core thread).  It
+runs at most one task's generator at a time, advancing a core-local cycle
+count by one cycle per instruction plus the full latency of every memory
+operation — the blocking model the paper's gem5 evaluation uses.
+
+Scheduling decisions (who runs next, quantum expiry, context-switch cost)
+belong to the OS layer; the executor reports each step's outcome so the
+kernel can react.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import ProgramError
+from repro.common.stats import StatGroup
+from repro.core.timecache import TimeCacheSystem
+from repro.cpu.isa import (
+    Compute,
+    Exit,
+    Fence,
+    Flush,
+    Ifetch,
+    Load,
+    Op,
+    Rdtsc,
+    SleepOp,
+    Store,
+    YieldOp,
+)
+from repro.cpu.program import ProgramGen
+from repro.memsys.hierarchy import AccessKind
+
+
+class StepEvent(enum.Enum):
+    """What happened when the context executed one operation."""
+
+    RUNNING = "running"
+    YIELDED = "yielded"
+    SLEEPING = "sleeping"
+    EXITED = "exited"
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of one :meth:`HardwareContext.step` call."""
+
+    event: StepEvent
+    #: core-local wake time for SLEEPING, else None
+    wake_at: Optional[int] = None
+
+
+#: translates a task virtual address to a physical address
+Translator = Callable[[int], int]
+
+
+class HardwareContext:
+    """One logical CPU executing one task generator at a time."""
+
+    def __init__(self, ctx_id: int, system: TimeCacheSystem) -> None:
+        self.ctx_id = ctx_id
+        self.system = system
+        #: core-local cycle counter (monotone for the context's lifetime)
+        self.local_time = 0
+        self.stats = StatGroup(f"ctx{ctx_id}")
+        self._gen: Optional[ProgramGen] = None
+        self._translate: Optional[Translator] = None
+        self._pending_result: object = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def install(self, gen: ProgramGen, translate: Translator) -> None:
+        """Bind a task's generator and address translation to this context."""
+        self._gen = gen
+        self._translate = translate
+        self._pending_result = None
+        self._started = False
+
+    def uninstall(self) -> None:
+        self._gen = None
+        self._translate = None
+        self._pending_result = None
+        self._started = False
+
+    @property
+    def busy(self) -> bool:
+        return self._gen is not None
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.get("instructions")
+
+    # ------------------------------------------------------------------
+    def step(self) -> StepOutcome:
+        """Execute one operation of the installed task."""
+        if self._gen is None or self._translate is None:
+            raise ProgramError(f"ctx{self.ctx_id}: no task installed")
+        try:
+            if not self._started:
+                op = next(self._gen)
+                self._started = True
+            else:
+                op = self._gen.send(self._pending_result)
+        except StopIteration:
+            return StepOutcome(StepEvent.EXITED)
+        return self._execute(op)
+
+    def _execute(self, op: Op) -> StepOutcome:
+        stats = self.stats
+        if isinstance(op, Load):
+            result = self.system.access(
+                self.ctx_id, self._translate(op.vaddr), AccessKind.LOAD, self.local_time
+            )
+            self.local_time += 1 + result.latency
+            stats.counter("instructions").add()
+            stats.counter("loads").add()
+            self._pending_result = result
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, Store):
+            result = self.system.access(
+                self.ctx_id, self._translate(op.vaddr), AccessKind.STORE, self.local_time
+            )
+            self.local_time += 1 + result.latency
+            stats.counter("instructions").add()
+            stats.counter("stores").add()
+            self._pending_result = result
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, Ifetch):
+            result = self.system.access(
+                self.ctx_id,
+                self._translate(op.vaddr),
+                AccessKind.IFETCH,
+                self.local_time,
+            )
+            self.local_time += 1 + result.latency
+            stats.counter("instructions").add()
+            stats.counter("ifetches").add()
+            self._pending_result = result
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, Flush):
+            result = self.system.flush(
+                self.ctx_id, self._translate(op.vaddr), self.local_time
+            )
+            self.local_time += 1 + result.latency
+            stats.counter("instructions").add()
+            stats.counter("flushes").add()
+            self._pending_result = result
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, Compute):
+            self.local_time += op.instructions
+            stats.counter("instructions").add(op.instructions)
+            self._pending_result = None
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, Rdtsc):
+            self.local_time += 1
+            stats.counter("instructions").add()
+            self._pending_result = self.local_time
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, Fence):
+            self.local_time += 1
+            stats.counter("instructions").add()
+            self._pending_result = None
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, YieldOp):
+            self.local_time += 1
+            stats.counter("instructions").add()
+            self._pending_result = None
+            return StepOutcome(StepEvent.YIELDED)
+        if isinstance(op, SleepOp):
+            self.local_time += 1
+            stats.counter("instructions").add()
+            self._pending_result = None
+            return StepOutcome(StepEvent.SLEEPING, wake_at=self.local_time + op.cycles)
+        if isinstance(op, Exit):
+            stats.counter("instructions").add()
+            self._pending_result = None
+            return StepOutcome(StepEvent.EXITED)
+        raise ProgramError(f"unknown operation {op!r}")

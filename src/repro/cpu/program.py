@@ -1,0 +1,69 @@
+"""Program wrappers for generator-based simulated code.
+
+A *program* is a zero-argument callable returning a generator that yields
+:mod:`repro.cpu.isa` operations and receives each operation's result via
+``send``.  :class:`Program` names the callable; :func:`trace_program`
+turns a pre-computed operation list (a trace) into a program, which is
+how the workload generators feed the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, List, Optional
+
+from repro.cpu.isa import Op
+
+#: what the CPU sends back into the generator after each op
+ProgramGen = Generator[Op, object, None]
+
+
+class Program:
+    """A named generator factory, restartable for repeated runs."""
+
+    def __init__(self, name: str, factory: Callable[[], ProgramGen]) -> None:
+        self.name = name
+        self._factory = factory
+
+    def start(self) -> ProgramGen:
+        """Instantiate a fresh generator for one execution."""
+        return self._factory()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Program({self.name!r})"
+
+
+def trace_program(name: str, ops: Iterable[Op]) -> Program:
+    """A program that replays a fixed operation sequence.
+
+    The ops are materialized once so the program can be restarted (e.g. a
+    baseline run and a TimeCache run over the identical trace).
+    """
+    materialized: List[Op] = list(ops)
+
+    def factory() -> ProgramGen:
+        for op in materialized:
+            yield op
+
+    return Program(name, factory)
+
+
+def looping_program(
+    name: str,
+    make_ops: Callable[[int], Iterable[Op]],
+    iterations: Optional[int] = None,
+) -> Program:
+    """A program generating ops lazily, iteration by iteration.
+
+    ``make_ops(i)`` produces the ops of iteration ``i``; ``iterations``
+    bounds the loop (None = run until the scheduler's instruction budget
+    stops the task).
+    """
+
+    def factory() -> ProgramGen:
+        i = 0
+        while iterations is None or i < iterations:
+            for op in make_ops(i):
+                yield op
+            i += 1
+
+    return Program(name, factory)

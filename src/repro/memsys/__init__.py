@@ -1,0 +1,43 @@
+"""Behavioral memory-system substrate: caches, DRAM, coherence, hierarchy.
+
+This package is the reproduction's stand-in for gem5's memory system.  It
+models a blocking (TimingSimpleCPU-style) multi-level cache hierarchy:
+private L1I/L1D per core, a shared inclusive LLC, and a DRAM backend, with
+MESI-lite coherence between private caches through an LLC directory.
+
+The TimeCache defense (:mod:`repro.core`) hooks this substrate through the
+:class:`repro.core.policy.TimeCachePolicy` object that
+:class:`~repro.memsys.hierarchy.MemoryHierarchy` consults on every access,
+fill, eviction, invalidation, and flush.
+"""
+
+from repro.memsys.cache import Cache
+from repro.memsys.cacheset import CacheSet
+from repro.memsys.coherence import Directory
+from repro.memsys.dram import Dram
+from repro.memsys.hierarchy import AccessKind, AccessResult, MemoryHierarchy
+from repro.memsys.line import CacheLine, LineState
+from repro.memsys.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_replacement_policy,
+)
+
+__all__ = [
+    "AccessKind",
+    "AccessResult",
+    "Cache",
+    "CacheLine",
+    "CacheSet",
+    "Directory",
+    "Dram",
+    "FifoPolicy",
+    "LineState",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "RandomPolicy",
+    "TreePlruPolicy",
+    "make_replacement_policy",
+]

@@ -1,0 +1,53 @@
+"""DRAM backend model.
+
+A fixed-latency main memory with an optional open-row model: consecutive
+accesses to the same DRAM row are slightly faster.  The row model is off
+by default — the attacks and the TimeCache overhead shapes depend only on
+the DRAM latency being far above any cache-hit latency — but it is useful
+for making attacker latency histograms look realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.stats import StatGroup
+
+
+class Dram:
+    """Main memory: every access succeeds, at ``latency`` cycles."""
+
+    def __init__(
+        self,
+        latency: int,
+        row_bytes: int = 4096,
+        row_hit_discount: int = 0,
+        line_bytes: int = 64,
+    ) -> None:
+        if latency <= 0:
+            raise ValueError(f"DRAM latency must be positive, got {latency}")
+        if row_hit_discount < 0 or row_hit_discount >= latency:
+            raise ValueError(
+                "row_hit_discount must be in [0, latency), got "
+                f"{row_hit_discount}"
+            )
+        self.latency = latency
+        self.row_lines = max(1, row_bytes // line_bytes)
+        self.row_hit_discount = row_hit_discount
+        self._open_row: Optional[int] = None
+        self.stats = StatGroup("DRAM")
+
+    def access(self, line_addr: int) -> int:
+        """Service a line fetch or writeback; returns the latency."""
+        self.stats.counter("accesses").add()
+        row = line_addr // self.row_lines
+        if self.row_hit_discount and row == self._open_row:
+            self.stats.counter("row_hits").add()
+            return self.latency - self.row_hit_discount
+        self._open_row = row
+        return self.latency
+
+    def writeback(self, line_addr: int) -> int:
+        """Accept a dirty line; modeled like an access for latency."""
+        self.stats.counter("writebacks").add()
+        return self.access(line_addr)

@@ -1,0 +1,187 @@
+"""Replacement policies for set-associative caches.
+
+Each policy is a small strategy object instantiated once per
+:class:`~repro.memsys.cacheset.CacheSet`.  The interface is deliberately
+narrow — ``on_fill`` / ``on_access`` notifications plus ``victim``
+selection — so policies can be swapped per cache level from configuration.
+
+The LRU-state side channel exploited by the Section VII-A "LRU attack"
+falls out of :class:`LruPolicy` naturally: the victim's touch of a line
+changes which way ``victim()`` returns, which
+:mod:`repro.attacks.lru_attack` observes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.memsys.line import CacheLine
+
+
+class ReplacementPolicy:
+    """Interface for per-set replacement decisions."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.ways = ways
+
+    def on_access(self, way: int, now: int) -> None:
+        """A resident line in ``way`` was hit at time ``now``."""
+
+    def on_fill(self, way: int, now: int) -> None:
+        """A line was filled into ``way`` at time ``now``."""
+
+    def on_invalidate(self, way: int) -> None:
+        """The line in ``way`` was invalidated."""
+
+    def victim(self, lines: Sequence[Optional[CacheLine]], now: int) -> int:
+        """Pick the way to evict; sets with a free way never call this."""
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Evict the least-recently-used valid line (exact LRU)."""
+
+    def victim(self, lines: Sequence[Optional[CacheLine]], now: int) -> int:
+        best_way = -1
+        best_time = None
+        for way, line in enumerate(lines):
+            if line is None:
+                raise SimulationError("victim() called with a free way")
+            if best_time is None or line.last_used < best_time:
+                best_time = line.last_used
+                best_way = way
+        return best_way
+
+
+class FifoPolicy(ReplacementPolicy):
+    """Evict the line filled the longest ago, regardless of reuse."""
+
+    def victim(self, lines: Sequence[Optional[CacheLine]], now: int) -> int:
+        best_way = -1
+        best_time = None
+        for way, line in enumerate(lines):
+            if line is None:
+                raise SimulationError("victim() called with a free way")
+            if best_time is None or line.filled_at < best_time:
+                best_time = line.filled_at
+                best_way = way
+        return best_way
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random valid line (deterministic given the seed)."""
+
+    def __init__(self, ways: int, rng: Optional[DeterministicRng] = None) -> None:
+        super().__init__(ways)
+        self._rng = rng if rng is not None else DeterministicRng(ways)
+
+    def victim(self, lines: Sequence[Optional[CacheLine]], now: int) -> int:
+        return self._rng.randint(0, self.ways - 1)
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU, the common hardware approximation of LRU.
+
+    A binary tree of direction bits covers the (power-of-two padded) ways;
+    every access flips the bits on its path to point *away* from the
+    accessed way, and the victim is found by following the bits.
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        size = 1
+        while size < ways:
+            size *= 2
+        self._leaves = size
+        self._bits: List[int] = [0] * max(1, size - 1)
+
+    def _touch(self, way: int) -> None:
+        node = 0
+        lo, hi = 0, self._leaves
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # point away: toward the right half
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0  # point away: toward the left half
+                node = 2 * node + 2
+                lo = mid
+        # nodes beyond the real way count are never reached because
+        # victim() clamps to valid ways below.
+
+    def on_access(self, way: int, now: int) -> None:
+        self._touch(way)
+
+    def on_fill(self, way: int, now: int) -> None:
+        self._touch(way)
+
+    def victim(self, lines: Sequence[Optional[CacheLine]], now: int) -> int:
+        node = 0
+        lo, hi = 0, self._leaves
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return min(lo, self.ways - 1)
+
+
+class SrripPolicy(ReplacementPolicy):
+    """Static RRIP (Jaleel et al.), the common modern-LLC policy.
+
+    Each way carries a re-reference prediction value (RRPV) of ``bits``
+    width; fills insert at ``max-1`` (long re-reference), hits promote to
+    0, and the victim is the first way at ``max`` — aging every way when
+    none is there yet.  Scan-resistant where LRU thrashes.
+    """
+
+    def __init__(self, ways: int, bits: int = 2) -> None:
+        super().__init__(ways)
+        if bits < 1:
+            raise ValueError("RRPV width must be >= 1")
+        self._max = (1 << bits) - 1
+        self._rrpv: List[int] = [self._max] * ways
+
+    def on_access(self, way: int, now: int) -> None:
+        self._rrpv[way] = 0  # hit promotion
+
+    def on_fill(self, way: int, now: int) -> None:
+        self._rrpv[way] = self._max - 1  # long re-reference insertion
+
+    def on_invalidate(self, way: int) -> None:
+        self._rrpv[way] = self._max
+
+    def victim(self, lines: Sequence[Optional[CacheLine]], now: int) -> int:
+        while True:
+            for way in range(self.ways):
+                if self._rrpv[way] >= self._max:
+                    return way
+            for way in range(self.ways):
+                self._rrpv[way] += 1  # age everyone, retry
+
+
+def make_replacement_policy(
+    name: str, ways: int, rng: Optional[DeterministicRng] = None
+) -> ReplacementPolicy:
+    """Instantiate a policy by its configuration name."""
+    key = name.lower()
+    if key == "lru":
+        return LruPolicy(ways)
+    if key == "fifo":
+        return FifoPolicy(ways)
+    if key == "random":
+        return RandomPolicy(ways, rng)
+    if key in ("tree-plru", "plru"):
+        return TreePlruPolicy(ways)
+    if key == "srrip":
+        return SrripPolicy(ways)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,65 @@
+"""Tests for the artifact-regeneration CLI."""
+
+import pytest
+
+from repro.analysis.cli import build_parser, main
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    # every documented command parses
+    for command in ("micro", "rsa", "table2", "fig8", "fig9", "fig10"):
+        args = parser.parse_args([command] if command in ("micro", "rsa") else [command, "--pairs", "1"])
+        assert args.command == command
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_micro_command_prints_both_configs(capsys):
+    assert main(["--instructions", "1000", "micro"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "TimeCache" in out
+    assert "256" in out
+
+
+def test_table2_command_prints_rows(capsys):
+    assert main(["--instructions", "8000", "table2", "--pairs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2Xspecrand" in out
+    assert "geomean" in out
+
+
+def test_fig9_command_prints_parsec(capsys):
+    assert main(["--instructions", "8000", "fig9", "--pairs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fluidanimate" in out
+    assert "fa-MPKI" in out
+
+
+def test_fig10_command_prints_series(capsys):
+    assert main(["--instructions", "8000", "fig10"]) == 0
+    out = capsys.readouterr().out
+    assert "32KiB" in out and "128KiB" in out
+
+
+def test_compare_command(capsys):
+    assert main(["--instructions", "8000", "compare", "--bench", "namd"]) == 0
+    out = capsys.readouterr().out
+    assert "timecache" in out and "partition" in out
+
+
+def test_export_command(tmp_path, capsys):
+    target = str(tmp_path / "out.json")
+    assert (
+        main(
+            ["--instructions", "6000", "export", "--output", target, "--pairs", "1"]
+        )
+        == 0
+    )
+    from repro.analysis.export import load_json, summarize_json
+
+    payload = load_json(target)
+    assert summarize_json(payload)["count"] == 1

@@ -1,0 +1,42 @@
+"""Tests for the three-way defense comparison harness."""
+
+import pytest
+
+from repro.analysis.comparison import compare_defenses
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_defenses(
+        tiny_config(quantum=4_000),
+        bench_a="perlbench",
+        bench_b="perlbench",
+        instructions=12_000,
+    )
+
+
+def test_all_three_configurations_ran(comparison):
+    assert set(comparison.reports) == {"baseline", "timecache", "partition"}
+    for report in comparison.reports.values():
+        assert report.run.instructions > 0
+
+
+def test_baseline_leaks_and_defenses_block(comparison):
+    assert comparison.reports["baseline"].attack_hits > 0
+    assert comparison.reports["timecache"].secure
+    assert comparison.reports["partition"].secure
+
+
+def test_both_defenses_cost_time(comparison):
+    assert comparison.overhead("timecache") >= 0.0
+    assert comparison.overhead("partition") >= 0.0
+    assert comparison.normalized_time("baseline") == 1.0
+
+
+def test_render_mentions_everything(comparison):
+    text = comparison.render()
+    assert "2Xperlbench" in text
+    assert "timecache" in text and "partition" in text
+    assert "blocked" in text

@@ -1,0 +1,56 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.analysis.figures import (
+    ascii_bars,
+    figure7,
+    figure10,
+    latency_histogram_ascii,
+)
+
+
+def test_ascii_bars_basic():
+    text = ascii_bars("T", [("a", 2.0), ("b", 1.0)], width=10)
+    assert "T" in text
+    lines = text.splitlines()
+    assert len(lines) == 4  # title, rule, two rows
+    # larger value gets the longer bar
+    assert lines[2].count("#") > lines[3].count("#")
+
+
+def test_ascii_bars_baseline_subtraction():
+    text = ascii_bars("T", [("a", 1.02), ("b", 1.01)], baseline=1.0)
+    a_row = [l for l in text.splitlines() if l.startswith("a")][0]
+    b_row = [l for l in text.splitlines() if l.startswith("b")][0]
+    assert a_row.count("#") > b_row.count("#")
+
+
+def test_ascii_bars_empty():
+    assert "(no data)" in ascii_bars("T", [])
+
+
+def test_ascii_bars_zero_delta_rows_have_no_bar():
+    text = ascii_bars("T", [("a", 1.0), ("b", 1.5)], baseline=1.0)
+    a_row = [l for l in text.splitlines() if l.startswith("a")][0]
+    assert "#" not in a_row
+
+
+class FakeResult:
+    def __init__(self, label, normalized_time):
+        self.label = label
+        self.normalized_time = normalized_time
+
+
+def test_figure7_and_10_render():
+    results = [FakeResult("2Xlbm", 1.0039), FakeResult("2Xwrf", 1.0135)]
+    text = figure7(results)
+    assert "Figure 7" in text and "2Xlbm" in text
+    text10 = figure10([("2MB", 1.0113), ("8MB", 1.001)])
+    assert "Figure 10" in text10 and "2MB" in text10
+
+
+def test_latency_histogram():
+    text = latency_histogram_ascii(
+        "lat", [2, 2, 2, 22, 222, 222], edges=[10, 100]
+    )
+    assert "<= 10" in text and "> 100" in text
+    assert text.splitlines()[2].count("#") > 0

@@ -1,0 +1,103 @@
+"""Tests for the sweep drivers and attack scaffolding helpers."""
+
+import pytest
+
+from repro.analysis.runner import llc_sensitivity_sweep, single_config
+from repro.attacks.base import AttackOutcome, hit_threshold
+
+from tests.conftest import tiny_config
+
+
+def test_single_config_valid():
+    cfg = single_config(llc_kib=64, num_cores=2)
+    cfg.validate()
+    assert cfg.hierarchy.num_cores == 2
+    assert cfg.hierarchy.llc.size_bytes == 64 * 1024
+
+
+def test_llc_sweep_structure():
+    sweep = llc_sensitivity_sweep(
+        pairs=[("namd", "namd")],
+        llc_sizes_kib=(16, 32),
+        instructions=5_000,
+    )
+    assert set(sweep) == {16, 32}
+    for results in sweep.values():
+        assert len(results) == 1
+        assert results[0].label == "2Xnamd"
+
+
+class TestHitThreshold:
+    def test_sits_between_hit_and_miss_paths(self):
+        cfg = tiny_config()
+        lat = cfg.hierarchy.latency
+        threshold = hit_threshold(cfg)
+        assert lat.l1_hit + lat.l2_hit < threshold < lat.dram
+
+
+class TestAttackOutcome:
+    def test_hit_fraction(self):
+        outcome = AttackOutcome(probe_hits=3, probe_total=4)
+        assert outcome.hit_fraction == 0.75
+        assert outcome.leaked
+
+    def test_empty_outcome(self):
+        outcome = AttackOutcome(probe_hits=0, probe_total=0)
+        assert outcome.hit_fraction == 0.0
+        assert not outcome.leaked
+
+
+class TestPartitionGeometry:
+    def test_last_domain_absorbs_remainder_ways(self):
+        from repro.core.timecache import TimeCacheSystem
+
+        system = TimeCacheSystem(tiny_config().with_partitioning(domains=3))
+        hier = system.hierarchy  # 8 LLC ways across 3 domains: 2+2+4
+        assert list(hier.domain_ways(0)) == [0, 1]
+        assert list(hier.domain_ways(1)) == [2, 3]
+        assert list(hier.domain_ways(2)) == [4, 5, 6, 7]
+
+    def test_all_ways_covered_exactly_once(self):
+        from repro.core.timecache import TimeCacheSystem
+
+        system = TimeCacheSystem(tiny_config().with_partitioning(domains=3))
+        hier = system.hierarchy
+        covered = []
+        for domain in range(3):
+            covered.extend(hier.domain_ways(domain))
+        assert sorted(covered) == list(range(hier.llc.ways))
+
+
+def test_choose_victim_in_rejects_empty_range():
+    from repro.common.errors import SimulationError
+    from repro.memsys.cacheset import CacheSet
+    from repro.memsys.line import LineState
+    from repro.memsys.replacement import LruPolicy
+
+    cset = CacheSet(0, ways=4, policy=LruPolicy(4))
+    for way in range(4):
+        cset.install(way, tag=way, now=way, state=LineState.SHARED)
+    with pytest.raises(SimulationError):
+        cset.choose_victim_in(range(0, 0), now=10)
+
+
+def test_choose_victim_in_prefers_free_allowed_way():
+    from repro.memsys.cacheset import CacheSet
+    from repro.memsys.line import LineState
+    from repro.memsys.replacement import LruPolicy
+
+    cset = CacheSet(0, ways=4, policy=LruPolicy(4))
+    cset.install(0, tag=9, now=0, state=LineState.SHARED)
+    assert cset.choose_victim_in(range(0, 2), now=1) == 1  # the free one
+
+
+def test_choose_victim_in_lru_within_allowed():
+    from repro.memsys.cacheset import CacheSet
+    from repro.memsys.line import LineState
+    from repro.memsys.replacement import LruPolicy
+
+    cset = CacheSet(0, ways=4, policy=LruPolicy(4))
+    for way, touch in zip(range(4), [5, 1, 9, 0]):
+        cset.install(way, tag=way, now=touch, state=LineState.SHARED)
+    # globally way 3 is LRU (touch 0), but outside the allowed range
+    assert cset.choose_victim_in(range(0, 2), now=10) == 1

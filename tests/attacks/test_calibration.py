@@ -1,0 +1,44 @@
+"""Tests for the attacker's threshold calibration routine."""
+
+import pytest
+
+from repro.attacks.base import hit_threshold
+from repro.attacks.calibration import calibrate_hit_threshold
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return calibrate_hit_threshold(tiny_config(enabled=False), probes=16)
+
+
+def test_populations_collected(result):
+    assert len(result.cached_latencies) == 16
+    assert len(result.uncached_latencies) == 16
+
+
+def test_populations_separable(result):
+    assert result.separable
+    assert result.cached_max < result.uncached_min
+
+
+def test_threshold_sits_between_populations(result):
+    assert result.cached_max < result.threshold < result.uncached_min
+
+
+def test_measured_threshold_agrees_with_configured_heuristic(result):
+    """The attacker's measured threshold and the harness's derived one
+    must classify identically on both populations."""
+    configured = hit_threshold(tiny_config())
+    for lat in result.cached_latencies:
+        assert (lat < configured) == (lat < result.threshold)
+    for lat in result.uncached_latencies:
+        assert (lat < configured) == (lat < result.threshold)
+
+
+def test_calibration_works_under_timecache_too():
+    """TimeCache does not break the attacker's *own* calibration: its
+    own fills are visible to itself (no first access on own data)."""
+    result = calibrate_hit_threshold(tiny_config(enabled=True), probes=8)
+    assert result.separable

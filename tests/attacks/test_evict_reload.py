@@ -1,0 +1,37 @@
+"""Evict+reload: the clflush-free reuse attack."""
+
+from repro.attacks.evict_reload import run_evict_reload
+
+from tests.conftest import tiny_config
+
+
+def test_baseline_leaks():
+    outcome = run_evict_reload(tiny_config(enabled=False), rounds=4)
+    assert outcome.probe_hits == outcome.probe_total == 4
+
+
+def test_timecache_blocks():
+    outcome = run_evict_reload(tiny_config(enabled=True), rounds=4)
+    assert outcome.probe_hits == 0
+
+
+def test_untouched_line_shows_no_hits():
+    """Control case: the victim never touches the monitored line, so a
+    correct attack reports no activity even in the baseline."""
+    outcome = run_evict_reload(
+        tiny_config(enabled=False),
+        secret_indices=(9,),
+        monitored_line=2,
+        rounds=3,
+    )
+    assert outcome.probe_hits == 0
+
+
+def test_monitored_equals_touched_leaks_in_baseline():
+    outcome = run_evict_reload(
+        tiny_config(enabled=False),
+        secret_indices=(9,),
+        monitored_line=9,
+        rounds=3,
+    )
+    assert outcome.probe_hits == 3

@@ -1,0 +1,51 @@
+"""Keystroke-timing recovery (§II-B's cited attack class)."""
+
+import pytest
+
+from repro.attacks.keystroke import run_keystroke_attack
+from repro.common.errors import ConfigError
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    return run_keystroke_attack(
+        tiny_config(num_cores=2, enabled=False), presses=8
+    )
+
+
+def test_baseline_recovers_the_timeline(baseline_result):
+    assert baseline_result.timeline_recovered
+    assert baseline_result.recall >= 0.8
+    # no huge over-detection: recovered events on the order of presses
+    assert len(baseline_result.recovered_times) <= 2 * len(
+        baseline_result.true_press_times
+    ) + 2
+
+
+def test_baseline_hits_track_presses(baseline_result):
+    assert baseline_result.probe_hits > 0
+    assert len(baseline_result.true_press_times) == 8
+
+
+def test_timecache_recovers_nothing():
+    result = run_keystroke_attack(
+        tiny_config(num_cores=2, enabled=True), presses=6
+    )
+    assert result.probe_hits == 0
+    assert result.recovered_times == []
+    assert not result.timeline_recovered
+    assert result.recall == 0.0
+
+
+def test_needs_two_contexts():
+    with pytest.raises(ConfigError):
+        run_keystroke_attack(tiny_config(num_cores=1))
+
+
+def test_deterministic():
+    a = run_keystroke_attack(tiny_config(num_cores=2, enabled=False), presses=5)
+    b = run_keystroke_attack(tiny_config(num_cores=2, enabled=False), presses=5)
+    assert a.recovered_times == b.recovered_times
+    assert a.true_press_times == b.true_press_times

@@ -1,0 +1,45 @@
+"""Unit tests for the global simulation clock."""
+
+import pytest
+
+from repro.common.clock import GlobalClock
+
+
+def test_starts_at_zero_by_default():
+    assert GlobalClock().now == 0
+
+
+def test_starts_at_given_time():
+    assert GlobalClock(42).now == 42
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        GlobalClock(-1)
+
+
+def test_tick_advances_and_returns_new_time():
+    clock = GlobalClock()
+    assert clock.tick(5) == 5
+    assert clock.now == 5
+    assert clock.tick() == 6
+
+
+def test_tick_backwards_rejected():
+    clock = GlobalClock()
+    with pytest.raises(ValueError):
+        clock.tick(-3)
+
+
+def test_advance_to_moves_forward_only():
+    clock = GlobalClock(10)
+    assert clock.advance_to(20) == 20
+    assert clock.advance_to(5) == 20  # no-op backwards
+    assert clock.now == 20
+
+
+def test_advance_to_is_idempotent():
+    clock = GlobalClock()
+    clock.advance_to(7)
+    clock.advance_to(7)
+    assert clock.now == 7

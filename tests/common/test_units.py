@@ -1,0 +1,80 @@
+"""Unit tests for unit conversions and aggregates."""
+
+import math
+
+import pytest
+
+from repro.common.units import (
+    KIB,
+    MIB,
+    checked_mean,
+    cycles_from_ns,
+    cycles_from_us,
+    geometric_mean,
+    is_power_of_two,
+    mpki,
+    pretty_size,
+)
+
+
+def test_size_constants():
+    assert KIB == 1024
+    assert MIB == 1024 * 1024
+
+
+def test_cycles_from_us_matches_paper_dma_constant():
+    # The paper's 1.08 us DMA at the 2 GHz gem5 clock.
+    assert cycles_from_us(1.08, 2.0) == 2160
+
+
+def test_cycles_from_ns():
+    assert cycles_from_ns(500, 2.0) == 1000
+
+
+def test_cycles_rejects_bad_clock():
+    with pytest.raises(ValueError):
+        cycles_from_ns(10, 0.0)
+
+
+def test_geometric_mean_basic():
+    assert math.isclose(geometric_mean([1.0, 4.0]), 2.0)
+
+
+def test_geometric_mean_of_identical_values():
+    assert math.isclose(geometric_mean([1.0113] * 5), 1.0113)
+
+
+def test_geometric_mean_rejects_empty_and_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_mpki():
+    assert mpki(50, 100_000) == 0.5
+    assert mpki(0, 1000) == 0.0
+
+
+def test_mpki_zero_instructions_is_zero_not_error():
+    assert mpki(10, 0) == 0.0
+
+
+def test_pretty_size():
+    assert pretty_size(32 * KIB) == "32K"
+    assert pretty_size(2 * MIB) == "2M"
+    assert pretty_size(100) == "100B"
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(3)
+    assert not is_power_of_two(-4)
+
+
+def test_checked_mean():
+    assert checked_mean([2.0, 4.0]) == 3.0
+    with pytest.raises(ValueError):
+        checked_mean([])

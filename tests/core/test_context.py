@@ -1,0 +1,192 @@
+"""Tests for the context-switch engine: save/restore/comparator update."""
+
+import numpy as np
+import pytest
+
+from repro.core.timecache import TimeCacheSystem
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture
+def system():
+    return TimeCacheSystem(tiny_config(num_cores=1))
+
+
+def warm(system, ctx, addrs, start=0):
+    for i, addr in enumerate(addrs):
+        system.load(ctx, addr, now=start + i * 300)
+    return start + len(addrs) * 300
+
+
+class TestSaveRestore:
+    def test_new_task_restores_all_clear(self, system):
+        warm(system, 0, [0x1000, 0x2000], start=0)
+        system.context_switch(None, incoming_task=7, ctx=0, now=1000)
+        # Task 7 never ran: everything is a first access for it.
+        r = system.load(0, 0x1000, now=1100)
+        assert r.first_access
+
+    def test_roundtrip_preserves_sbits_when_cache_unchanged(self, system):
+        end = warm(system, 0, [0x1000, 0x2000], start=0)
+        system.context_switch(None, 1, ctx=0, now=0)  # task 1 owns ctx now
+        # re-warm as task 1
+        end = warm(system, 0, [0x1000, 0x2000], start=end)
+        system.context_switch(1, 2, ctx=0, now=end)  # save task 1
+        # task 2 does nothing that touches those lines
+        system.context_switch(2, 1, ctx=0, now=end + 100)  # restore task 1
+        r = system.load(0, 0x1000, now=end + 200)
+        assert not r.first_access
+        assert r.level == "L1"
+
+    def test_lines_refilled_while_preempted_are_reset(self, system):
+        system.context_switch(None, 1, ctx=0, now=0)
+        warm(system, 0, [0x1000], start=100)
+        system.context_switch(1, 2, ctx=0, now=1000)  # Ts(task1) = 1000
+        # Task 2 flushes and refills the line: new Tc > Ts.
+        system.flush(0, 0x1000, now=1100)
+        system.load(0, 0x1000, now=1200)
+        system.context_switch(2, 1, ctx=0, now=2000)
+        r = system.load(0, 0x1000, now=2100)
+        assert r.first_access  # comparator must have cleared the stale bit
+
+    def test_lines_untouched_while_preempted_stay_visible(self, system):
+        system.context_switch(None, 1, ctx=0, now=0)
+        warm(system, 0, [0x1000, 0x2000], start=100)
+        system.context_switch(1, 2, ctx=0, now=1000)
+        warm(system, 0, [0x9000], start=1100)  # task 2 touches other lines
+        system.context_switch(2, 1, ctx=0, now=2000)
+        r = system.load(0, 0x1000, now=2100)
+        assert not r.first_access
+
+    def test_switch_cost_reports_dma_and_comparator(self, system):
+        system.context_switch(None, 1, ctx=0, now=0)
+        warm(system, 0, [0x1000], start=0)
+        system.context_switch(1, 2, ctx=0, now=1000)
+        cost = system.context_switch(2, 1, ctx=0, now=2000)
+        assert cost.dma_cycles == system.config.timecache.sbit_dma_cycles
+        # bits+2 per cache level that had saved bits (L1I, L1D, LLC)
+        per_level = system.config.timecache.timestamp_bits + 2
+        assert cost.comparator_cycles == 3 * per_level
+
+    def test_disabled_timecache_costs_nothing(self):
+        system = TimeCacheSystem(tiny_config(enabled=False))
+        cost = system.context_switch(None, 1, ctx=0, now=0)
+        assert cost.total == 0
+
+
+class TestResetAblation:
+    def test_reset_on_switch_forgets_everything(self):
+        system = TimeCacheSystem(tiny_config(reset_sbits_on_switch=True))
+        system.context_switch(None, 1, ctx=0, now=0)
+        for i, addr in enumerate([0x1000, 0x2000]):
+            system.load(0, addr, now=i * 300)
+        system.context_switch(1, 2, ctx=0, now=1000)
+        system.context_switch(2, 1, ctx=0, now=2000)
+        r = system.load(0, 0x1000, now=2100)
+        assert r.first_access  # saved context was dropped
+
+
+class TestMigration:
+    def test_llc_visibility_survives_migration(self):
+        """The LLC is the same physical cache on every core: a migrating
+        task keeps the visibility it paid for there."""
+        system = TimeCacheSystem(tiny_config(num_cores=2))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=100)
+        system.context_switch(1, 2, ctx=0, now=1000)
+        system.context_switch(None, 1, ctx=1, now=2000)
+        r = system.load(1, 0x1000, now=2100)
+        # L1D1 misses (plain miss), LLC serves with the restored s-bit.
+        assert not r.first_access
+        assert r.level == "LLC"
+
+    def test_l1_bits_do_not_follow_across_cores(self):
+        """Saved L1 bits describe core 0's physical L1 and must not be
+        restored into core 1's L1: a same-positioned line there belongs
+        to someone else."""
+        system = TimeCacheSystem(tiny_config(num_cores=2))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x3000, now=100)  # task 1's L1D0 slot bit set
+        system.context_switch(1, 2, ctx=0, now=1000)
+        # Another task on core 1 pulls the same line into L1D1.
+        system.context_switch(None, 3, ctx=1, now=1500)
+        system.load(1, 0x3000, now=1600)
+        # Task 1 migrates to core 1: L1D1 holds the line (tag hit) but
+        # task 1 must not see it at L1 speed there.
+        system.context_switch(3, 1, ctx=1, now=2000)
+        r = system.load(1, 0x3000, now=2100)
+        assert r.first_access
+
+
+class TestRollover:
+    def test_rollover_resets_all_sbits(self):
+        system = TimeCacheSystem(tiny_config(timestamp_bits=8))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=10)
+        system.context_switch(1, 2, ctx=0, now=100)  # Ts = 100
+        # resume after the 8-bit counter wrapped (epoch change at 256)
+        cost = system.context_switch(2, 1, ctx=0, now=300)
+        assert cost.rollover_reset
+        r = system.load(0, 0x1000, now=310)
+        assert r.first_access  # conservative reset
+
+    def test_no_rollover_keeps_bits(self):
+        system = TimeCacheSystem(tiny_config(timestamp_bits=8))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=10)
+        system.context_switch(1, 2, ctx=0, now=100)
+        cost = system.context_switch(2, 1, ctx=0, now=200)  # same epoch
+        assert not cost.rollover_reset
+        r = system.load(0, 0x1000, now=210)
+        assert not r.first_access
+
+    def test_stale_large_tc_causes_unnecessary_but_safe_reset(self):
+        """Section VI-C: without a rollover between save and resume, an
+        old line from the previous epoch can carry a *larger* truncated
+        Tc than Ts and be reset unnecessarily — allowed, never unsafe."""
+        system = TimeCacheSystem(tiny_config(timestamp_bits=8))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=200)  # Tc = 200 (epoch 0)
+        # Run task 1 past the rollover so its own bits stay live (running
+        # processes need no action), then preempt in epoch 1.
+        system.load(0, 0x1000, now=270)
+        system.context_switch(1, 2, ctx=0, now=260 + 2)  # Ts = 262 -> 6
+        cost = system.context_switch(2, 1, ctx=0, now=265)  # same epoch
+        assert not cost.rollover_reset
+        r = system.load(0, 0x1000, now=266)
+        # truncated Tc (200) > truncated Ts (6): unnecessary reset happens
+        assert r.first_access
+
+
+class TestGateLevelPath:
+    def test_gate_level_comparator_gives_same_behavior(self):
+        results = []
+        for gate in (False, True):
+            system = TimeCacheSystem(
+                tiny_config(gate_level_comparator=gate, timestamp_bits=8)
+            )
+            system.context_switch(None, 1, ctx=0, now=0)
+            system.load(0, 0x1000, now=10)
+            system.context_switch(1, 2, ctx=0, now=50)
+            system.flush(0, 0x1000, now=60)
+            system.load(0, 0x1000, now=70)
+            system.context_switch(2, 1, ctx=0, now=90)
+            r = system.load(0, 0x1000, now=100)
+            results.append((r.first_access, r.latency))
+        assert results[0] == results[1]
+
+    def test_transposed_view_matches_cache_tc(self):
+        system = TimeCacheSystem(tiny_config(timestamp_bits=8))
+        system.load(0, 0x1000, now=5)
+        system.load(0, 0x2000, now=9)
+        llc = system.hierarchy.llc
+        sram = system.context_engine.build_transposed_view(llc)
+        assert np.array_equal(sram.dump_words(), llc.tc.reshape(-1))
+
+    def test_save_restore_transfer_counts(self):
+        system = TimeCacheSystem(tiny_config())
+        transfers = system.context_engine.save_restore_transfers()
+        # tiny caches: 1 KiB L1 = 16 lines = 2 bytes -> 1 transfer each
+        assert all(t >= 1 for t in transfers)
+        assert len(transfers) == 3  # L1I, L1D, LLC

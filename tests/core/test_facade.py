@@ -1,0 +1,59 @@
+"""Tests for the TimeCacheSystem facade and run summaries."""
+
+from repro.core.timecache import TimeCacheSystem
+from repro.os.kernel import RunSummary
+
+from tests.conftest import tiny_config
+
+
+class TestFacade:
+    def test_task_state_is_cached_per_id(self):
+        system = TimeCacheSystem(tiny_config())
+        assert system.task_state(1) is system.task_state(1)
+        assert system.task_state(1) is not system.task_state(2)
+
+    def test_timecache_enabled_property(self):
+        assert TimeCacheSystem(tiny_config()).timecache_enabled
+        assert not TimeCacheSystem(tiny_config(enabled=False)).timecache_enabled
+
+    def test_access_defaults_to_clock_now(self):
+        system = TimeCacheSystem(tiny_config())
+        system.clock.advance_to(5_000)
+        system.load(0, 0x1000)  # no explicit now
+        hier = system.hierarchy
+        pos = hier.llc.lookup(hier.line_addr(0x1000))
+        assert hier.llc.tc[pos] == 5_000
+
+    def test_stats_snapshot_merges_all_components(self):
+        system = TimeCacheSystem(tiny_config())
+        system.load(0, 0x1000, now=0)
+        system.context_switch(None, 1, ctx=0, now=100)
+        snap = system.stats_snapshot()
+        assert any(key.startswith("L1D0.") for key in snap)
+        assert any(key.startswith("LLC.") for key in snap)
+        assert any(key.startswith("DRAM.") for key in snap)
+        assert any(key.startswith("context_switch.") for key in snap)
+
+    def test_clock_monotone_across_out_of_order_nows(self):
+        system = TimeCacheSystem(tiny_config())
+        system.load(0, 0x1000, now=1_000)
+        system.load(0, 0x2000, now=500)  # stale core time
+        assert system.clock.now == 1_000  # frontier never regresses
+
+
+class TestRunSummary:
+    def test_totals_and_makespan(self):
+        summary = RunSummary(
+            steps=10,
+            context_switches=2,
+            per_task_instructions={"a": 100, "b": 50},
+            per_task_cycles={"a": 400, "b": 200},
+            per_ctx_local_time={0: 700, 1: 300},
+        )
+        assert summary.total_instructions == 150
+        assert summary.makespan == 700
+
+    def test_empty_summary(self):
+        summary = RunSummary(steps=0, context_switches=0)
+        assert summary.total_instructions == 0
+        assert summary.makespan == 0

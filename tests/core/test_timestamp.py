@@ -1,0 +1,106 @@
+"""Unit and property tests for the finite-width timestamp domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.core.timestamp import TimestampDomain
+
+
+def test_modulus_and_mask():
+    d = TimestampDomain(8)
+    assert d.modulus == 256
+    assert d.mask == 255
+
+
+def test_width_bounds():
+    with pytest.raises(ConfigError):
+        TimestampDomain(1)
+    with pytest.raises(ConfigError):
+        TimestampDomain(65)
+    TimestampDomain(2)
+    TimestampDomain(64)
+
+
+def test_truncate():
+    d = TimestampDomain(8)
+    assert d.truncate(0) == 0
+    assert d.truncate(255) == 255
+    assert d.truncate(256) == 0
+    assert d.truncate(511) == 255
+
+
+def test_truncate_rejects_negative():
+    with pytest.raises(ValueError):
+        TimestampDomain(8).truncate(-1)
+
+
+def test_epoch():
+    d = TimestampDomain(8)
+    assert d.epoch(0) == 0
+    assert d.epoch(255) == 0
+    assert d.epoch(256) == 1
+    assert d.epoch(1000) == 3
+
+
+def test_rolled_over_between():
+    d = TimestampDomain(8)
+    assert not d.rolled_over_between(10, 200)
+    assert d.rolled_over_between(200, 300)
+    assert d.rolled_over_between(10, 1000)  # multiple wraps
+
+
+def test_rolled_over_rejects_backwards_time():
+    with pytest.raises(ValueError):
+        TimestampDomain(8).rolled_over_between(100, 50)
+
+
+def test_paper_decimal_illustration():
+    """Section VI-C illustrates with 2 decimal digits: Ts=98, resume at
+    105 -> rollover detected; Ts=102 (i.e. wrapped 02), resume 105 without
+    rollover -> stale big Tc like 78 may cause unnecessary resets."""
+    d = TimestampDomain(8)  # binary analogue: epoch boundary at 256
+    # preempt at 250, resume at 260: epochs 0 and 1 differ -> rollover
+    assert d.rolled_over_between(250, 260)
+    # preempt at 258, resume at 261: same epoch -> hardware compares
+    # truncated values; an old line with Tc=200 (from epoch 0) shows
+    # Tc > Ts_trunc=2 -> unnecessary but safe reset
+    assert not d.rolled_over_between(258, 261)
+    assert d.compare_truncated(200, d.truncate(258))
+
+
+def test_compare_truncated_bounds():
+    d = TimestampDomain(4)
+    with pytest.raises(ValueError):
+        d.compare_truncated(16, 0)
+    with pytest.raises(ValueError):
+        d.compare_truncated(0, -1)
+
+
+def test_to_bits_msb_first():
+    d = TimestampDomain(4)
+    assert d.to_bits_msb_first(0b1010) == [1, 0, 1, 0]
+    assert d.to_bits_msb_first(0) == [0, 0, 0, 0]
+    with pytest.raises(ValueError):
+        d.to_bits_msb_first(16)
+
+
+@given(st.integers(2, 16), st.integers(0, 10**9), st.integers(0, 10**9))
+def test_rollover_iff_epoch_differs(bits, a, b):
+    lo, hi = min(a, b), max(a, b)
+    d = TimestampDomain(bits)
+    assert d.rolled_over_between(lo, hi) == (
+        (lo >> bits) != (hi >> bits)
+    )
+
+
+@given(st.integers(2, 16), st.integers(0, 10**9))
+def test_truncate_roundtrip_bits(bits, value):
+    d = TimestampDomain(bits)
+    t = d.truncate(value)
+    bits_list = d.to_bits_msb_first(t)
+    reconstructed = 0
+    for b in bits_list:
+        reconstructed = (reconstructed << 1) | b
+    assert reconstructed == t

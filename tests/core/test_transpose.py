@@ -1,0 +1,98 @@
+"""Unit and property tests for the transpose SRAM model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.core.transpose import TransposeSram
+
+
+def test_word_write_read_roundtrip():
+    sram = TransposeSram(words=4, bits=8)
+    sram.write_word(2, 0xA5)
+    assert sram.read_word(2) == 0xA5
+    assert sram.read_word(0) == 0
+
+
+def test_word_value_must_fit():
+    sram = TransposeSram(words=2, bits=4)
+    with pytest.raises(SimulationError):
+        sram.write_word(0, 16)
+
+
+def test_bit_slice_read_msb_first():
+    sram = TransposeSram(words=3, bits=4)
+    sram.write_word(0, 0b1000)
+    sram.write_word(1, 0b0001)
+    sram.write_word(2, 0b1001)
+    msb = sram.read_bit_slice(0)
+    lsb = sram.read_bit_slice(3)
+    assert list(msb) == [True, False, True]
+    assert list(lsb) == [False, True, True]
+
+
+def test_bit_slice_write():
+    sram = TransposeSram(words=3, bits=4)
+    sram.write_bit_slice(0, np.array([True, True, False]))
+    assert sram.read_word(0) == 0b1000
+    assert sram.read_word(1) == 0b1000
+    assert sram.read_word(2) == 0
+
+
+def test_bounds_checked():
+    sram = TransposeSram(words=2, bits=4)
+    with pytest.raises(SimulationError):
+        sram.read_word(2)
+    with pytest.raises(SimulationError):
+        sram.read_bit_slice(4)
+    with pytest.raises(SimulationError):
+        sram.write_bit_slice(0, np.zeros(3, dtype=bool))
+
+
+def test_access_counters_track_interfaces():
+    sram = TransposeSram(words=4, bits=8)
+    sram.write_word(0, 1)
+    sram.read_word(0)
+    sram.read_bit_slice(0)
+    assert sram.stats.get("word_writes") == 1
+    assert sram.stats.get("word_reads") == 1
+    assert sram.stats.get("bit_slice_reads") == 1
+
+
+def test_load_dump_words():
+    sram = TransposeSram(words=5, bits=6)
+    values = np.array([0, 1, 31, 63, 32], dtype=np.int64)
+    sram.load_words(values)
+    assert np.array_equal(sram.dump_words(), values)
+
+
+def test_load_words_validates():
+    sram = TransposeSram(words=2, bits=4)
+    with pytest.raises(SimulationError):
+        sram.load_words(np.array([1, 16]))
+    with pytest.raises(SimulationError):
+        sram.load_words(np.array([1, 2, 3]))
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(2, 12).flatmap(
+        lambda bits: st.tuples(
+            st.just(bits),
+            st.lists(
+                st.integers(0, (1 << bits) - 1), min_size=1, max_size=32
+            ),
+        )
+    )
+)
+def test_roundtrip_property(bits_and_values):
+    bits, values = bits_and_values
+    sram = TransposeSram(words=len(values), bits=bits)
+    arr = np.array(values, dtype=np.int64)
+    sram.load_words(arr)
+    assert np.array_equal(sram.dump_words(), arr)
+    # word interface agrees with bulk dump
+    for i, v in enumerate(values):
+        assert sram.read_word(i) == v

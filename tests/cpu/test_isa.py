@@ -1,0 +1,49 @@
+"""Unit tests for the operation types."""
+
+import pytest
+
+from repro.cpu.isa import (
+    Compute,
+    Exit,
+    Fence,
+    Flush,
+    Ifetch,
+    Load,
+    Op,
+    Rdtsc,
+    SleepOp,
+    Store,
+    YieldOp,
+)
+
+
+def test_memory_ops_carry_vaddr():
+    assert Load(0x10).vaddr == 0x10
+    assert Store(0x20).vaddr == 0x20
+    assert Ifetch(0x30).vaddr == 0x30
+    assert Flush(0x40).vaddr == 0x40
+
+
+def test_compute_validates_count():
+    assert Compute(5).instructions == 5
+    with pytest.raises(ValueError):
+        Compute(0)
+
+
+def test_sleep_validates_cycles():
+    assert SleepOp(10).cycles == 10
+    with pytest.raises(ValueError):
+        SleepOp(0)
+
+
+def test_all_ops_are_op_instances():
+    for op in [
+        Load(0), Store(0), Ifetch(0), Flush(0), Compute(1),
+        Rdtsc(), Fence(), YieldOp(), SleepOp(1), Exit(),
+    ]:
+        assert isinstance(op, Op)
+
+
+def test_ops_use_slots():
+    with pytest.raises(AttributeError):
+        Load(0).surprise = 1  # type: ignore[attr-defined]

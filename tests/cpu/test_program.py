@@ -1,0 +1,40 @@
+"""Unit tests for program wrappers."""
+
+from repro.cpu.isa import Compute, Load
+from repro.cpu.program import Program, looping_program, trace_program
+
+
+def test_program_restartable():
+    def factory():
+        yield Compute(1)
+        yield Compute(2)
+
+    program = Program("p", factory)
+    ops1 = list(program.start())
+    ops2 = list(program.start())
+    assert len(ops1) == len(ops2) == 2
+
+
+def test_trace_program_replays_fixed_ops():
+    program = trace_program("t", [Load(1), Load(2)])
+    first = [op.vaddr for op in program.start()]
+    second = [op.vaddr for op in program.start()]
+    assert first == second == [1, 2]
+
+
+def test_trace_program_materializes_generator_input():
+    program = trace_program("t", (Load(i) for i in range(3)))
+    assert len(list(program.start())) == 3
+    assert len(list(program.start())) == 3  # generator input not consumed
+
+
+def test_looping_program_bounded():
+    program = looping_program("l", lambda i: [Load(i)], iterations=4)
+    assert [op.vaddr for op in program.start()] == [0, 1, 2, 3]
+
+
+def test_looping_program_unbounded_is_lazy():
+    program = looping_program("l", lambda i: [Load(i)], iterations=None)
+    gen = program.start()
+    assert next(gen).vaddr == 0
+    assert next(gen).vaddr == 1  # still going; no materialization

@@ -1,0 +1,49 @@
+"""Determinism: identical configuration => identical simulation."""
+
+from repro.analysis.experiment import run_spec_pair_experiment
+from repro.attacks.flush_reload import run_microbenchmark_attack
+from repro.attacks.rsa import generate_key, run_rsa_attack
+
+from tests.conftest import tiny_config
+
+
+def test_spec_experiment_reproducible():
+    a = run_spec_pair_experiment(
+        tiny_config(quantum=3_000), "astar", "namd", instructions=4_000
+    )
+    b = run_spec_pair_experiment(
+        tiny_config(quantum=3_000), "astar", "namd", instructions=4_000
+    )
+    assert a.baseline.cycles == b.baseline.cycles
+    assert a.timecache.cycles == b.timecache.cycles
+    assert a.baseline.stats == b.baseline.stats
+    assert a.timecache.stats == b.timecache.stats
+
+
+def test_attack_outcome_reproducible():
+    a = run_microbenchmark_attack(
+        tiny_config(enabled=False), shared_lines=32, sleep_cycles=30_000
+    )
+    b = run_microbenchmark_attack(
+        tiny_config(enabled=False), shared_lines=32, sleep_cycles=30_000
+    )
+    assert a.latencies == b.latencies
+
+
+def test_rsa_attack_reproducible():
+    key = generate_key(seed=11, prime_bits=16)
+    cfg = tiny_config(num_cores=2, enabled=False)
+    a = run_rsa_attack(cfg, key=key)
+    b = run_rsa_attack(cfg, key=key)
+    assert a.recovered_bits == b.recovered_bits
+    assert a.samples == b.samples
+
+
+def test_different_seed_changes_workload():
+    a = run_spec_pair_experiment(
+        tiny_config(quantum=3_000), "astar", "namd", instructions=4_000, seed=1
+    )
+    b = run_spec_pair_experiment(
+        tiny_config(quantum=3_000), "astar", "namd", instructions=4_000, seed=2
+    )
+    assert a.baseline.cycles != b.baseline.cycles

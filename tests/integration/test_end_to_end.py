@@ -1,0 +1,109 @@
+"""End-to-end scenario tests spanning the full stack.
+
+Each test tells one of the paper's stories on the whole system: OS +
+scheduler + VM + hierarchy + TimeCache + attacker/victim programs.
+"""
+
+from repro.analysis.experiment import run_spec_pair_experiment
+from repro.attacks.flush_reload import run_microbenchmark_attack
+from repro.core.timecache import TimeCacheSystem
+from repro.cpu.isa import Exit, Load, SleepOp, Store
+from repro.cpu.program import Program
+from repro.os.kernel import Kernel
+
+from tests.conftest import tiny_config
+
+
+def test_paper_headline_story():
+    """Baseline leaks, TimeCache fully blocks, at modest overhead."""
+    base = run_microbenchmark_attack(
+        tiny_config(enabled=False), shared_lines=64, sleep_cycles=50_000
+    )
+    defended = run_microbenchmark_attack(
+        tiny_config(enabled=True), shared_lines=64, sleep_cycles=50_000
+    )
+    assert base.hit_fraction == 1.0
+    assert defended.hit_fraction == 0.0
+
+
+def test_deduplicated_pages_are_safe_to_share():
+    """The paper's motivation: with TimeCache, dedup/COW sharing stops
+    being a side-channel vector.  Two processes map dedup'd pages; the
+    observer process cannot tell which page the other touched."""
+    kernel = Kernel(tiny_config())
+    img_a = kernel.phys.allocate_segment("img_a", 4096, content_key="img")
+    img_b = kernel.phys.allocate_segment("img_b", 4096, content_key="img")
+    assert kernel.phys.dedup_hits == 1  # pages physically shared
+
+    observer = kernel.create_process("observer")
+    worker = kernel.create_process("worker")
+    observer.address_space.map_segment(img_a, 0x10000)
+    worker.address_space.map_segment(img_b, 0x10000)
+
+    latencies = []
+
+    def spy():
+        from repro.cpu.isa import Flush
+
+        for off in range(0, 4096, 64):
+            yield Flush(0x10000 + off)
+        yield SleepOp(30_000)
+        for off in range(0, 4096, 64):
+            r = yield Load(0x10000 + off)
+            latencies.append(r.latency)
+        yield Exit()
+
+    def toucher():
+        for _ in range(3):
+            for off in (0, 64, 128):
+                yield Store(0x10000 + off)
+        yield Exit()
+
+    to = observer.spawn(Program("spy", spy), affinity=0)
+    tw = worker.spawn(Program("toucher", toucher), affinity=0)
+    kernel.submit(to)
+    kernel.submit(tw)
+    kernel.run()
+    lat = kernel.config.hierarchy.latency
+    assert all(v >= lat.dram for v in latencies)
+
+
+def test_steady_state_sharing_is_free():
+    """Section IV: 'performance of steady-state in-cache sharing is
+    unaffected' — after both contexts pay once, everyone hits."""
+    system = TimeCacheSystem(tiny_config(num_cores=2))
+    for rep in range(3):
+        for ctx in (0, 1):
+            for i in range(8):
+                system.access(
+                    ctx,
+                    0x100000 + i * 64,
+                    __import__("repro.memsys", fromlist=["AccessKind"]).AccessKind.LOAD,
+                    now=rep * 10_000 + ctx * 3_000 + i * 300,
+                )
+    # steady state: both contexts now hit in their own L1s
+    for ctx in (0, 1):
+        r = system.load(ctx, 0x100000, now=100_000 + ctx)
+        assert r.level == "L1"
+
+
+def test_overhead_shrinks_with_larger_llc():
+    """The Figure 10 trend at test scale: bigger LLC, fewer first-access
+    misses, lower overhead."""
+    from repro.common import scaled_experiment_config
+
+    small = run_spec_pair_experiment(
+        scaled_experiment_config(llc_kib=32, l1_kib=1, quantum_cycles=20_000),
+        "wrf",
+        "wrf",
+        instructions=30_000,
+    )
+    large = run_spec_pair_experiment(
+        scaled_experiment_config(llc_kib=256, l1_kib=1, quantum_cycles=20_000),
+        "wrf",
+        "wrf",
+        instructions=30_000,
+    )
+    small_fa = small.timecache.llc_first_access_mpki
+    large_fa = large.timecache.llc_first_access_mpki
+    assert large_fa <= small_fa

@@ -1,0 +1,97 @@
+"""Property-based kernel/scheduler tests over random task mixes.
+
+Invariants: every submitted finite task eventually exits; instruction
+counts are conserved (what the tasks retire is what the summary
+reports); core-local time never decreases; and the whole run is
+reproducible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import Compute, Exit, Load, SleepOp, Store, YieldOp
+from repro.cpu.program import Program
+from repro.os.kernel import Kernel
+
+from tests.conftest import tiny_config
+
+# a task spec: list of (op_kind, arg) tuples
+op_spec = st.sampled_from(["compute", "load", "store", "yield", "sleep"])
+task_spec = st.lists(
+    st.tuples(op_spec, st.integers(1, 50)), min_size=1, max_size=25
+)
+
+
+def build_program(name, spec):
+    def factory():
+        for kind, arg in spec:
+            if kind == "compute":
+                yield Compute(arg)
+            elif kind == "load":
+                yield Load(0x10000 + (arg % 64) * 64)
+            elif kind == "store":
+                yield Store(0x10000 + (arg % 64) * 64)
+            elif kind == "yield":
+                yield YieldOp()
+            elif kind == "sleep":
+                yield SleepOp(arg * 10)
+        yield Exit()
+
+    return Program(name, factory)
+
+
+def run_tasks(task_specs, cores=1, quantum=500):
+    kernel = Kernel(tiny_config(num_cores=cores, quantum=quantum))
+    seg = kernel.phys.allocate_segment("shared", 64 * 64)
+    tasks = []
+    for i, spec in enumerate(task_specs):
+        process = kernel.create_process(f"p{i}")
+        process.address_space.map_segment(seg, 0x10000)
+        task = process.spawn(
+            build_program(f"t{i}", spec), affinity=i % cores
+        )
+        kernel.submit(task)
+        tasks.append(task)
+    summary = kernel.run(max_steps=2_000_000)
+    return kernel, summary, tasks
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(task_spec, min_size=1, max_size=4))
+def test_every_finite_task_exits(task_specs):
+    kernel, _, _ = run_tasks(task_specs)
+    assert kernel.all_done()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(task_spec, min_size=1, max_size=4))
+def test_instruction_conservation(task_specs):
+    _, summary, tasks = run_tasks(task_specs)
+    expected = 0
+    for spec in task_specs:
+        for kind, arg in spec:
+            expected += arg if kind == "compute" else 1
+        expected += 1  # the Exit op
+    assert summary.total_instructions == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(task_spec, min_size=2, max_size=4))
+def test_two_core_runs_complete_too(task_specs):
+    kernel, summary, _ = run_tasks(task_specs, cores=2)
+    assert kernel.all_done()
+    assert summary.makespan > 0
+
+
+def _by_program(cycles_by_name):
+    """Strip the globally unique ``#tid`` suffix for cross-run compare."""
+    return {name.rsplit("#", 1)[0]: v for name, v in cycles_by_name.items()}
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(task_spec, min_size=1, max_size=3))
+def test_reproducible(task_specs):
+    _, a, _ = run_tasks(task_specs)
+    _, b, _ = run_tasks(task_specs)
+    assert _by_program(a.per_task_cycles) == _by_program(b.per_task_cycles)
+    assert a.context_switches == b.context_switches

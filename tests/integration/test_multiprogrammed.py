@@ -1,0 +1,91 @@
+"""Multiprogrammed scenarios beyond the paper's 2-process pairs.
+
+TimeCache claims no limit on the number of security domains (unlike
+DAWG's 16): these tests run 4+ processes through the save/restore
+machinery and check both isolation and bounded overhead behavior.
+"""
+
+from repro.analysis.experiment import _collect_run
+from repro.cpu.isa import Exit, Flush, Load, SleepOp, Store
+from repro.cpu.program import Program
+from repro.os.kernel import Kernel
+from repro.workloads.generator import WorkloadBuilder
+from repro.workloads.profiles import spec_profile
+
+from tests.conftest import tiny_config
+
+
+def test_four_processes_round_robin_complete():
+    kernel = Kernel(tiny_config(quantum=3_000))
+    builder = WorkloadBuilder(kernel)
+    names = ["namd", "astar", "gromacs", "sphinx3"]
+    for i, name in enumerate(names):
+        _, task = builder.build_process(
+            spec_profile(name), i, instructions=5_000, affinity=0
+        )
+        kernel.submit(task)
+    summary = kernel.run()
+    assert kernel.all_done()
+    assert summary.context_switches >= 4
+    assert len(summary.per_task_instructions) == 4
+
+
+def test_pairwise_isolation_with_four_processes():
+    """Every process pair is mutually isolated: an observer can never
+    see any other process's fills at hit latency, no matter how many
+    domains rotate through the core."""
+    kernel = Kernel(tiny_config(quantum=4_000))
+    shared = kernel.phys.allocate_segment("lib", 16 * 64)
+    observed = {}
+
+    def make_spy(name):
+        hits = []
+        observed[name] = hits
+
+        def program():
+            yield Flush(0x10000)
+            yield SleepOp(40_000)
+            r = yield Load(0x10000)
+            hits.append(r.latency < 100)
+            yield Exit()
+
+        return Program(f"spy-{name}", program)
+
+    def toucher():
+        for _ in range(20):
+            yield Store(0x10000)
+        yield Exit()
+
+    # three spies and one toucher, all sharing the library page
+    tasks = []
+    for i in range(3):
+        proc = kernel.create_process(f"spy{i}")
+        proc.address_space.map_segment(shared, 0x10000)
+        tasks.append(proc.spawn(make_spy(f"spy{i}"), affinity=0))
+    victim = kernel.create_process("victim")
+    victim.address_space.map_segment(shared, 0x10000)
+    tasks.append(victim.spawn(Program("toucher", toucher), affinity=0))
+    for task in tasks:
+        kernel.submit(task)
+    kernel.run()
+    for name, hits in observed.items():
+        assert sum(hits) == 0, f"{name} observed an unpaid hit"
+
+
+def test_many_domains_unlike_dawg():
+    """12 processes — above DAWG's 16-way partitioning would already be
+    strained at our 8-way LLC; TimeCache needs one s-bit column per
+    hardware context regardless of process count."""
+    kernel = Kernel(tiny_config(quantum=2_000))
+    builder = WorkloadBuilder(kernel)
+    for i in range(12):
+        _, task = builder.build_process(
+            spec_profile("namd"), i, instructions=1_500, affinity=0
+        )
+        kernel.submit(task)
+    summary = kernel.run()
+    assert kernel.all_done()
+    run = _collect_run(kernel, summary)
+    # the machinery works and the defense stays bounded: every task's
+    # first accesses are finite and the run terminates
+    assert run.instructions >= 12 * 1_500

@@ -1,0 +1,140 @@
+"""Property-based security tests against random access traces.
+
+The central guarantee (Section IV): a hardware context never observes a
+cache line at hit latency unless *it* paid for that line's presence — by
+filling it, or by a delayed first access — since the line's current fill.
+An independent shadow tracker re-derives who has "paid" per (cache, slot)
+from the observable event stream and checks every access against it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timecache import TimeCacheSystem
+from repro.memsys.hierarchy import AccessKind
+
+from tests.conftest import tiny_config
+
+# operations: (ctx, line_index, kind)
+op_strategy = st.tuples(
+    st.integers(0, 1),  # hardware context (2 cores)
+    st.integers(0, 40),  # line index within a small shared region
+    st.sampled_from(["load", "store", "ifetch", "flush"]),
+)
+
+
+def hit_threshold(system):
+    lat = system.config.hierarchy.latency
+    return lat.dram  # anything below a DRAM round-trip reads as a hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=120))
+def test_no_unpaid_hits_across_contexts(ops):
+    """For every access: hit-latency service implies the context already
+    paid (filled the line itself or suffered a first-access delay) since
+    the line's last arrival into the hierarchy."""
+    system = TimeCacheSystem(tiny_config(num_cores=2))
+    threshold = hit_threshold(system)
+    # paid[line] = set of contexts that have paid since last hierarchy fill
+    paid = {}
+    now = 0
+    for ctx, index, kind in ops:
+        addr = 0x100000 + index * 64
+        line = addr >> 6
+        now += 300
+        if kind == "flush":
+            system.flush(ctx, addr, now=now)
+            paid.pop(line, None)
+            continue
+        kind_map = {
+            "load": AccessKind.LOAD,
+            "store": AccessKind.STORE,
+            "ifetch": AccessKind.IFETCH,
+        }
+        result = system.access(ctx, addr, kind_map[kind], now=now)
+        if result.latency < threshold:
+            assert ctx in paid.get(line, set()), (
+                f"ctx{ctx} observed unpaid hit on line {line:#x} "
+                f"({result!r})"
+            )
+        paid.setdefault(line, set()).add(ctx)
+        # LLC evictions silently unpay everyone; the shadow set may be
+        # stale in the permissive direction only (extra misses are safe,
+        # extra hits are the violation we assert against) — so remove
+        # knowledge for lines that left the hierarchy.
+        if not system.hierarchy.llc.resident(line):
+            paid.pop(line, None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=80))
+def test_sbit_set_implies_resident(ops):
+    """An s-bit may only ever be set on a valid, resident slot."""
+    system = TimeCacheSystem(tiny_config(num_cores=2))
+    now = 0
+    for ctx, index, kind in ops:
+        addr = 0x100000 + index * 64
+        now += 300
+        if kind == "flush":
+            system.flush(ctx, addr, now=now)
+        else:
+            kind_map = {
+                "load": AccessKind.LOAD,
+                "store": AccessKind.STORE,
+                "ifetch": AccessKind.IFETCH,
+            }
+            system.access(ctx, addr, kind_map[kind], now=now)
+    for cache in system.hierarchy.all_caches():
+        for set_idx in range(cache.num_sets):
+            for way in range(cache.ways):
+                if cache.sbits[set_idx, way] != 0:
+                    assert cache.line_at(set_idx, way) is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=80))
+def test_inclusion_invariant_under_random_traffic(ops):
+    system = TimeCacheSystem(tiny_config(num_cores=2))
+    now = 0
+    for ctx, index, kind in ops:
+        addr = 0x100000 + index * 64
+        now += 300
+        if kind == "flush":
+            system.flush(ctx, addr, now=now)
+        else:
+            kind_map = {
+                "load": AccessKind.LOAD,
+                "store": AccessKind.STORE,
+                "ifetch": AccessKind.IFETCH,
+            }
+            system.access(ctx, addr, kind_map[kind], now=now)
+    system.hierarchy.check_inclusion()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 30), min_size=1, max_size=60),
+    st.integers(2, 6),
+)
+def test_save_restore_roundtrip_with_no_intervening_fills(indices, bits):
+    """If nothing was filled/evicted between save and restore, the
+    restored visibility is exactly the saved visibility (Tc <= Ts keeps
+    every bit)."""
+    system = TimeCacheSystem(tiny_config(timestamp_bits=32))
+    system.context_switch(None, 1, ctx=0, now=0)
+    now = 0
+    for index in indices:
+        now += 300
+        system.load(0, 0x100000 + index * 64, now=now)
+    saved_visibility = {
+        cache.name: cache.save_sbits(0).copy()
+        for cache in system.hierarchy.caches_for_ctx(0)
+    }
+    system.context_switch(1, 2, ctx=0, now=now + 100)
+    system.context_switch(2, 1, ctx=0, now=now + 200)  # task 2 did nothing
+    for cache in system.hierarchy.caches_for_ctx(0):
+        import numpy as np
+
+        assert np.array_equal(cache.save_sbits(0), saved_visibility[cache.name])

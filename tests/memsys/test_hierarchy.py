@@ -1,0 +1,161 @@
+"""Unit tests for the hierarchy's baseline (non-TimeCache) behavior."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.timecache import TimeCacheSystem
+from repro.memsys.hierarchy import AccessKind
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture
+def system(baseline_config):
+    return TimeCacheSystem(baseline_config)
+
+
+def test_cold_miss_goes_to_dram(system):
+    r = system.load(0, 0x1000, now=0)
+    assert r.level == "DRAM"
+    lat = system.config.hierarchy.latency
+    assert r.latency == lat.l1_hit + lat.l2_hit + lat.dram
+
+
+def test_l1_hit_after_fill(system):
+    system.load(0, 0x1000, now=0)
+    r = system.load(0, 0x1000, now=300)
+    assert r.level == "L1"
+    assert r.latency == system.config.hierarchy.latency.l1_hit
+
+
+def test_same_line_different_offset_hits(system):
+    system.load(0, 0x1000, now=0)
+    r = system.load(0, 0x103F, now=300)  # same 64-byte line
+    assert r.level == "L1"
+
+
+def test_llc_hit_after_l1_eviction(system):
+    # Fill enough same-L1-set lines to evict 0x1000 from L1 but keep it
+    # in the larger LLC.  L1: 4 sets, so stride 4*64=256 bytes.
+    system.load(0, 0x1000, now=0)
+    for i in range(1, 5):
+        system.load(0, 0x1000 + i * 256, now=i * 300)
+    r = system.load(0, 0x1000, now=3000)
+    assert r.level == "LLC"
+    lat = system.config.hierarchy.latency
+    assert r.latency == lat.l1_hit + lat.l2_hit
+
+
+def test_ifetch_uses_l1i_not_l1d(system):
+    system.ifetch(0, 0x1000, now=0)
+    hier = system.hierarchy
+    assert hier.l1i[0].resident(hier.line_addr(0x1000))
+    assert not hier.l1d[0].resident(hier.line_addr(0x1000))
+
+
+def test_store_marks_dirty_and_hits(system):
+    system.store(0, 0x1000, now=0)
+    hier = system.hierarchy
+    pos = hier.l1d[0].lookup(hier.line_addr(0x1000))
+    line = hier.l1d[0].line_at(*pos)
+    assert line.dirty
+    r = system.store(0, 0x1000, now=300)
+    assert r.level == "L1"
+
+
+def test_inclusion_maintained_under_pressure(system):
+    # Touch far more lines than the L1 holds; inclusion must never break.
+    for i in range(200):
+        system.load(0, i * 64, now=i * 250)
+    system.hierarchy.check_inclusion()
+
+
+def test_llc_eviction_back_invalidates_l1(system):
+    hier = system.hierarchy
+    llc = hier.llc
+    # Fill one LLC set completely plus one: lines with same LLC set index.
+    stride = llc.num_sets * 64
+    base = 0x40000
+    for i in range(llc.ways + 1):
+        system.load(0, base + i * stride, now=i * 300)
+    hier.check_inclusion()
+    # The victim line must be gone from L1 as well.
+    victim_line = hier.line_addr(base)
+    assert not llc.resident(victim_line)
+    assert not hier.l1d[0].resident(victim_line)
+
+
+def test_flush_removes_from_all_levels(system):
+    system.load(0, 0x1000, now=0)
+    r = system.flush(0, 0x1000, now=300)
+    assert r.latency == system.config.hierarchy.latency.flush_cached
+    hier = system.hierarchy
+    line = hier.line_addr(0x1000)
+    assert not hier.l1d[0].resident(line)
+    assert not hier.llc.resident(line)
+    r2 = system.load(0, 0x1000, now=600)
+    assert r2.level == "DRAM"
+
+
+def test_flush_uncached_is_faster(system):
+    cached = system.load(0, 0x2000, now=0)
+    assert cached.level == "DRAM"
+    hot = system.flush(0, 0x2000, now=300)
+    cold = system.flush(0, 0x2000, now=600)
+    assert cold.latency < hot.latency
+
+
+def test_bad_context_rejected(system):
+    with pytest.raises(SimulationError):
+        system.load(9, 0x1000, now=0)
+
+
+class TestMultiCore:
+    def test_cross_core_llc_hit(self, two_core_config):
+        system = TimeCacheSystem(two_core_config.baseline())
+        system.load(0, 0x1000, now=0)
+        r = system.load(1, 0x1000, now=300)
+        assert r.level == "LLC"
+
+    def test_store_invalidates_remote_l1(self, two_core_config):
+        system = TimeCacheSystem(two_core_config.baseline())
+        system.load(0, 0x1000, now=0)
+        system.load(1, 0x1000, now=300)
+        hier = system.hierarchy
+        line = hier.line_addr(0x1000)
+        assert hier.l1d[0].resident(line) and hier.l1d[1].resident(line)
+        system.store(0, 0x1000, now=600)
+        assert hier.l1d[0].resident(line)
+        assert not hier.l1d[1].resident(line)
+
+    def test_remote_dirty_line_transfer_latency(self, two_core_config):
+        system = TimeCacheSystem(two_core_config.baseline())
+        lat = two_core_config.hierarchy.latency
+        system.store(0, 0x1000, now=0)  # modified in core 0's L1D
+        r = system.load(1, 0x1000, now=300)
+        assert r.level == "remote"
+        assert r.latency == lat.l1_hit + lat.l2_hit + lat.remote_transfer
+
+    def test_remote_transfer_downgrades_owner(self, two_core_config):
+        system = TimeCacheSystem(two_core_config.baseline())
+        system.store(0, 0x1000, now=0)
+        system.load(1, 0x1000, now=300)
+        hier = system.hierarchy
+        pos = hier.l1d[0].lookup(hier.line_addr(0x1000))
+        line = hier.l1d[0].line_at(*pos)
+        assert not line.dirty
+        # LLC copy absorbed the dirty data
+        llc_pos = hier.llc.lookup(hier.line_addr(0x1000))
+        assert hier.llc.line_at(*llc_pos).dirty
+
+
+def test_dirty_llc_eviction_writes_back():
+    system = TimeCacheSystem(tiny_config(enabled=False))
+    hier = system.hierarchy
+    llc = hier.llc
+    stride = llc.num_sets * 64
+    base = 0x40000
+    system.store(0, base, now=0)
+    for i in range(1, llc.ways + 1):
+        system.load(0, base + i * stride, now=i * 300)
+    assert hier.dram.stats.get("writebacks") >= 1

@@ -1,0 +1,177 @@
+"""Tests for the TimeCache access protocol inside the hierarchy.
+
+These exercise the Section IV/V rules directly against the hierarchy:
+first-access misses, probe-down semantics, s-bit lifecycle on fills,
+evictions, invalidations, and the hardened first-access options.
+"""
+
+import pytest
+
+from repro.core.timecache import TimeCacheSystem
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture
+def system(two_core_config):
+    return TimeCacheSystem(two_core_config)
+
+
+def lat(system):
+    return system.config.hierarchy.latency
+
+
+class TestFirstAccess:
+    def test_own_fill_then_hit(self, system):
+        system.load(0, 0x1000, now=0)
+        r = system.load(0, 0x1000, now=300)
+        assert r.level == "L1" and not r.first_access
+
+    def test_cross_context_first_access_pays_dram(self, system):
+        system.load(0, 0x1000, now=0)
+        r = system.load(1, 0x1000, now=300)
+        assert r.first_access
+        assert r.latency >= lat(system).dram
+
+    def test_second_access_after_first_access_is_fast(self, system):
+        system.load(0, 0x1000, now=0)
+        system.load(1, 0x1000, now=300)
+        r = system.load(1, 0x1000, now=900)
+        assert not r.first_access
+        assert r.level == "L1"
+
+    def test_first_access_does_not_move_data(self, system):
+        """The response data is discarded: the line stays where it was
+        and its Tc is unchanged (the cache already had the newest copy)."""
+        system.load(0, 0x1000, now=0)
+        hier = system.hierarchy
+        line = hier.line_addr(0x1000)
+        s, w = hier.llc.lookup(line)
+        tc_before = hier.llc.tc[s, w]
+        system.load(1, 0x1000, now=500)
+        assert hier.llc.tc[s, w] == tc_before
+        assert hier.llc.lookup(line) == (s, w)
+
+    def test_first_access_counted_at_each_level(self, system):
+        system.load(0, 0x1000, now=0)
+        system.load(1, 0x1000, now=300)
+        # ctx1 is on core 1: its L1 missed (plain miss) and LLC saw the
+        # first access.
+        assert system.hierarchy.llc.stats.get("first_access_misses") == 1
+
+    def test_ifetch_first_access_also_delayed(self, system):
+        system.ifetch(0, 0x1000, now=0)
+        r = system.ifetch(1, 0x1000, now=300)
+        assert r.first_access
+        assert r.latency >= lat(system).dram
+
+    def test_store_first_access_also_delayed(self, system):
+        system.load(0, 0x1000, now=0)
+        r = system.store(1, 0x1000, now=300)
+        assert r.first_access
+
+
+class TestSameCoreTimeSlicing:
+    """Single core, two hardware-context-less processes: the s-bit is per
+    hardware context, so cross-process isolation on one core comes from
+    the context-switch save/restore — tested in core/test_context.py.
+    Here: same-context accesses never self-delay."""
+
+    def test_single_context_never_first_access(self):
+        system = TimeCacheSystem(tiny_config(num_cores=1))
+        for i in range(50):
+            system.load(0, i * 64, now=i * 300)
+        for i in range(50):
+            r = system.load(0, i * 64, now=20000 + i * 10)
+            assert not r.first_access
+
+
+class TestProbeDown:
+    def test_probe_stops_at_llc_when_sbit_set_there(self, two_core_config):
+        """L1 first access with a set LLC s-bit is served at LLC latency:
+        the paper's rationale for sending the request down (Section V-A)."""
+        system = TimeCacheSystem(tiny_config(num_cores=1, quantum=10**9))
+        hier = system.hierarchy
+        # ctx0 loads a line; then a context switch restores a *different*
+        # task whose L1 s-bits are clear but (by construction) LLC s-bit
+        # was re-set via first access.
+        system.load(0, 0x1000, now=0)
+        # Simulate: clear only the L1D s-bit for ctx0, keep LLC s-bit.
+        line = hier.line_addr(0x1000)
+        s, w = hier.l1d[0].lookup(line)
+        hier.l1d[0].sbits[s, w] = 0
+        r = system.load(0, 0x1000, now=600)
+        assert r.first_access
+        assert r.level == "LLC"
+        l = lat(system)
+        assert r.latency == l.l1_hit + l.l2_hit
+
+    def test_probe_reaches_dram_when_llc_sbit_clear(self, system):
+        system.load(0, 0x1000, now=0)
+        r = system.load(1, 0x1000, now=300)  # LLC s-bit clear for ctx1
+        assert r.level == "DRAM"
+
+
+class TestSbitLifecycle:
+    def test_eviction_clears_all_sbits(self, system):
+        hier = system.hierarchy
+        llc = hier.llc
+        stride = llc.num_sets * 64
+        base = 0x40000
+        system.load(0, base, now=0)
+        system.load(1, base, now=300)  # both contexts paid for this line
+        for i in range(1, llc.ways + 1):
+            system.load(0, base + i * stride, now=600 + i * 300)
+        assert not llc.resident(hier.line_addr(base))
+        # When the line returns, both contexts start over.
+        system.load(0, base, now=10_000)
+        r = system.load(1, base, now=10_500)
+        assert r.first_access
+
+    def test_flush_clears_sbits_for_everyone(self, system):
+        system.load(0, 0x1000, now=0)
+        system.load(1, 0x1000, now=300)
+        system.flush(0, 0x1000, now=900)
+        r0 = system.load(0, 0x1000, now=1200)
+        assert r0.level == "DRAM"  # plain miss, refill by ctx0
+        r1 = system.load(1, 0x1000, now=1500)
+        assert r1.first_access  # ctx1 must pay again
+
+    def test_store_invalidation_clears_remote_sbits(self, system):
+        system.load(0, 0x1000, now=0)
+        system.load(1, 0x1000, now=300)  # ctx1 paid its first access
+        system.store(0, 0x1000, now=900)  # invalidates core 1's copy
+        r = system.load(1, 0x1000, now=1200)
+        # ctx1's L1 line is gone; at the LLC its s-bit survived (the LLC
+        # line was not refilled), so this is a plain LLC hit.
+        assert r.level in ("LLC", "remote")
+
+
+class TestHardenedModes:
+    def test_dram_latency_on_first_access_forces_memory_wait(self):
+        cfg = tiny_config(num_cores=1, dram_latency_on_first_access=True)
+        system = TimeCacheSystem(cfg)
+        hier = system.hierarchy
+        system.load(0, 0x1000, now=0)
+        line = hier.line_addr(0x1000)
+        s, w = hier.l1d[0].lookup(line)
+        hier.l1d[0].sbits[s, w] = 0  # stale L1 s-bit, LLC s-bit still set
+        r = system.load(0, 0x1000, now=600)
+        assert r.latency >= lat(system).dram
+
+    def test_constant_time_flush(self):
+        cfg = tiny_config(num_cores=1, constant_time_flush=True)
+        system = TimeCacheSystem(cfg)
+        system.load(0, 0x2000, now=0)
+        hot = system.flush(0, 0x2000, now=300)
+        cold = system.flush(0, 0x2000, now=600)
+        assert hot.latency == cold.latency
+
+
+class TestBaselineEquivalence:
+    def test_disabled_timecache_never_reports_first_access(self, baseline_config):
+        system = TimeCacheSystem(baseline_config)
+        system.load(0, 0x1000, now=0)
+        r = system.load(0, 0x1000, now=300)
+        assert not r.first_access
+        assert system.hierarchy.total_first_access_misses() == 0

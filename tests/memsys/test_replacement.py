@@ -1,0 +1,184 @@
+"""Unit and property tests for replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.memsys.line import CacheLine, LineState
+from repro.memsys.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    SrripPolicy,
+    TreePlruPolicy,
+    make_replacement_policy,
+)
+
+
+def _lines(ways, touch_times):
+    lines = []
+    for way in range(ways):
+        line = CacheLine(tag=way, now=0, state=LineState.SHARED)
+        line.last_used = touch_times[way]
+        line.filled_at = touch_times[way]
+        lines.append(line)
+    return lines
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        policy = LruPolicy(4)
+        lines = _lines(4, [10, 3, 7, 5])
+        assert policy.victim(lines, now=20) == 1
+
+    def test_raises_on_free_way(self):
+        from repro.common.errors import SimulationError
+
+        policy = LruPolicy(2)
+        with pytest.raises(SimulationError):
+            policy.victim([None, None], now=0)
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=8, unique=True))
+    def test_most_recent_never_victim(self, touches):
+        policy = LruPolicy(len(touches))
+        lines = _lines(len(touches), touches)
+        victim = policy.victim(lines, now=max(touches) + 1)
+        assert touches[victim] != max(touches)
+
+
+class TestFifo:
+    def test_evicts_oldest_fill_regardless_of_touch(self):
+        policy = FifoPolicy(3)
+        lines = _lines(3, [5, 1, 9])
+        lines[1].last_used = 100  # re-touched, FIFO must ignore
+        assert policy.victim(lines, now=200) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        lines = _lines(4, [0, 1, 2, 3])
+        a = RandomPolicy(4, DeterministicRng(9))
+        b = RandomPolicy(4, DeterministicRng(9))
+        assert [a.victim(lines, 0) for _ in range(10)] == [
+            b.victim(lines, 0) for _ in range(10)
+        ]
+
+    def test_victims_in_range(self):
+        lines = _lines(4, [0, 1, 2, 3])
+        policy = RandomPolicy(4, DeterministicRng(1))
+        assert all(0 <= policy.victim(lines, 0) < 4 for _ in range(50))
+
+
+class TestTreePlru:
+    def test_just_touched_way_not_victim(self):
+        policy = TreePlruPolicy(4)
+        lines = _lines(4, [0, 0, 0, 0])
+        for way in range(4):
+            policy.on_access(way, now=way)
+            assert policy.victim(lines, now=10) != way
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=30))
+    def test_victim_always_valid_way(self, accesses):
+        policy = TreePlruPolicy(8)
+        lines = _lines(8, list(range(8)))
+        for way in accesses:
+            policy.on_access(way, now=0)
+        assert 0 <= policy.victim(lines, now=0) < 8
+
+    def test_non_power_of_two_ways(self):
+        policy = TreePlruPolicy(6)
+        lines = _lines(6, list(range(6)))
+        for way in [0, 5, 3]:
+            policy.on_access(way, now=0)
+        assert 0 <= policy.victim(lines, now=0) < 6
+
+
+class TestSrrip:
+    def test_fill_then_hit_promotes(self):
+        policy = SrripPolicy(4)
+        lines = _lines(4, [0, 1, 2, 3])
+        for way in range(4):
+            policy.on_fill(way, now=way)
+        policy.on_access(0, now=10)  # way 0 promoted to RRPV 0
+        victim = policy.victim(lines, now=20)
+        assert victim != 0
+
+    def test_untouched_fill_evicted_before_hit_line(self):
+        policy = SrripPolicy(2)
+        lines = _lines(2, [0, 1])
+        policy.on_fill(0, now=0)
+        policy.on_fill(1, now=1)
+        policy.on_access(0, now=2)
+        assert policy.victim(lines, now=3) == 1
+
+    def test_invalidate_makes_way_immediate_victim(self):
+        policy = SrripPolicy(4)
+        lines = _lines(4, [0, 1, 2, 3])
+        for way in range(4):
+            policy.on_fill(way, now=way)
+            policy.on_access(way, now=way + 10)
+        policy.on_invalidate(2)
+        assert policy.victim(lines, now=20) == 2
+
+    def test_aging_terminates(self):
+        policy = SrripPolicy(3)
+        lines = _lines(3, [0, 1, 2])
+        for way in range(3):
+            policy.on_fill(way, now=way)
+            policy.on_access(way, now=way + 10)  # everyone at RRPV 0
+        assert 0 <= policy.victim(lines, now=20) < 3  # ages until found
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    def test_victim_always_valid(self, accesses):
+        policy = SrripPolicy(8)
+        lines = _lines(8, list(range(8)))
+        for way in accesses:
+            policy.on_access(way, now=0)
+        assert 0 <= policy.victim(lines, now=0) < 8
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            SrripPolicy(4, bits=0)
+
+    def test_whole_cache_runs_with_srrip(self):
+        """End-to-end: a hierarchy whose LLC uses SRRIP behaves sanely
+        and keeps the TimeCache semantics."""
+        import dataclasses
+
+        from repro.core.timecache import TimeCacheSystem
+        from tests.conftest import tiny_config
+
+        cfg = tiny_config(num_cores=2)
+        llc = dataclasses.replace(cfg.hierarchy.llc, replacement="srrip")
+        cfg = dataclasses.replace(
+            cfg, hierarchy=dataclasses.replace(cfg.hierarchy, llc=llc)
+        )
+        system = TimeCacheSystem(cfg)
+        system.load(0, 0x1000, now=0)
+        r = system.load(1, 0x1000, now=300)
+        assert r.first_access
+        system.hierarchy.check_inclusion()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("lru", LruPolicy),
+            ("fifo", FifoPolicy),
+            ("random", RandomPolicy),
+            ("tree-plru", TreePlruPolicy),
+            ("plru", TreePlruPolicy),
+            ("srrip", SrripPolicy),
+            ("LRU", LruPolicy),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_replacement_policy(name, 4), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_replacement_policy("mru", 4)

@@ -1,0 +1,98 @@
+"""fork()/COW tests: the sharing pattern the paper's intro motivates."""
+
+from repro.cpu.isa import Exit, Flush, Load, SleepOp, Store
+from repro.cpu.program import Program
+from repro.os.kernel import Kernel
+
+from tests.conftest import tiny_config
+
+
+def make_forked_pair(kernel):
+    parent = kernel.create_process("parent")
+    seg = kernel.phys.allocate_segment("heap", 8192)
+    parent.address_space.map_segment(seg, 0x10000)
+    child = kernel.fork_process(parent)
+    return parent, child
+
+
+def test_child_shares_parent_pages():
+    kernel = Kernel(tiny_config())
+    parent, child = make_forked_pair(kernel)
+    assert parent.address_space.shares_page_with(child.address_space, 0x10000)
+    assert child.address_space.segment_base("heap") == 0x10000
+
+
+def test_child_write_breaks_sharing():
+    kernel = Kernel(tiny_config())
+    parent, child = make_forked_pair(kernel)
+    assert child.address_space.write_fault(0x10020)
+    assert not parent.address_space.shares_page_with(
+        child.address_space, 0x10000
+    )
+    # other pages still shared
+    assert parent.address_space.shares_page_with(child.address_space, 0x11000)
+
+
+def test_parent_unaffected_by_child_cow_break():
+    kernel = Kernel(tiny_config())
+    parent, child = make_forked_pair(kernel)
+    before = parent.address_space.translate(0x10000)
+    child.address_space.write_fault(0x10000)
+    assert parent.address_space.translate(0x10000) == before
+
+
+def test_forked_pages_are_a_reuse_channel_without_timecache():
+    """Parent spies on which COW pages the child *reads* (reads keep
+    sharing): the classic fork-based leak, blocked by TimeCache."""
+    for enabled, expected_hits in ((False, 1), (True, 0)):
+        kernel = Kernel(tiny_config(enabled=enabled))
+        parent, child = make_forked_pair(kernel)
+        hits = []
+
+        def spy():
+            yield Flush(0x10000)
+            yield SleepOp(30_000)
+            r = yield Load(0x10000)
+            hits.append(r.latency < 100)
+            yield Exit()
+
+        def reader():
+            for _ in range(4):
+                yield Load(0x10000)  # read does not break COW
+            yield Exit()
+
+        tp = parent.spawn(Program("spy", spy), affinity=0)
+        tc = child.spawn(Program("reader", reader), affinity=0)
+        kernel.submit(tp)
+        kernel.submit(tc)
+        kernel.run()
+        assert sum(hits) == expected_hits
+
+
+def test_cow_break_stops_even_the_baseline_channel():
+    """After the child writes (COW break), its accesses hit private
+    pages: the parent's probe of its own copy shows nothing, defense or
+    not — sharing is gone (and so is the memory saving)."""
+    kernel = Kernel(tiny_config(enabled=False))
+    parent, child = make_forked_pair(kernel)
+    hits = []
+
+    def spy():
+        yield Flush(0x10000)
+        yield SleepOp(30_000)
+        r = yield Load(0x10000)
+        hits.append(r.latency < 100)
+        yield Exit()
+
+    def writer():
+        child.address_space.write_fault(0x10000)  # kernel COW handler
+        for _ in range(4):
+            yield Store(0x10000)
+        yield Exit()
+
+    tp = parent.spawn(Program("spy", spy), affinity=0)
+    tc = child.spawn(Program("writer", writer), affinity=0)
+    kernel.submit(tp)
+    kernel.submit(tc)
+    kernel.run()
+    assert sum(hits) == 0

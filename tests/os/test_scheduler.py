@@ -1,0 +1,96 @@
+"""Unit tests for the round-robin scheduler."""
+
+import pytest
+
+from repro.common.errors import SchedulerError
+from repro.cpu.isa import Compute
+from repro.cpu.program import Program
+from repro.os.process import Process, TaskStatus
+from repro.os.scheduler import RoundRobinScheduler
+from repro.os.vm import AddressSpace, PhysicalMemory
+
+
+def make_task(affinity=None):
+    phys = PhysicalMemory()
+    process = Process("p", AddressSpace("p", phys))
+
+    def factory():
+        yield Compute(1)
+
+    return process.spawn(Program("t", factory), affinity=affinity)
+
+
+def test_validation():
+    with pytest.raises(SchedulerError):
+        RoundRobinScheduler(0, 100)
+    with pytest.raises(SchedulerError):
+        RoundRobinScheduler(1, 0)
+
+
+def test_admit_respects_affinity():
+    sched = RoundRobinScheduler(2, 100)
+    task = make_task(affinity=1)
+    assert sched.admit(task) == 1
+    assert sched.pending(1) == 1
+    assert sched.pending(0) == 0
+
+
+def test_admit_balances_without_affinity():
+    sched = RoundRobinScheduler(2, 100)
+    placements = [sched.admit(make_task()) for _ in range(4)]
+    assert placements.count(0) == 2 and placements.count(1) == 2
+
+
+def test_admit_rejects_bad_context():
+    sched = RoundRobinScheduler(2, 100)
+    with pytest.raises(SchedulerError):
+        sched.admit(make_task(affinity=5))
+
+
+def test_round_robin_order():
+    sched = RoundRobinScheduler(1, 100)
+    a, b = make_task(0), make_task(0)
+    sched.admit(a)
+    sched.admit(b)
+    first = sched.next_task(0, local_time=0)
+    assert first is a
+    sched.requeue(first, 0)
+    second = sched.next_task(0, local_time=10)
+    assert second is b
+
+
+def test_next_task_skips_exited():
+    sched = RoundRobinScheduler(1, 100)
+    a, b = make_task(0), make_task(0)
+    sched.admit(a)
+    sched.admit(b)
+    a.status = TaskStatus.EXITED
+    assert sched.next_task(0, 0) is b
+
+
+def test_sleep_and_wake():
+    sched = RoundRobinScheduler(1, 100)
+    task = make_task(0)
+    sched.admit(task)
+    got = sched.next_task(0, 0)
+    sched.put_to_sleep(got, 0, wake_at=500)
+    assert sched.next_task(0, 100) is None  # still asleep
+    assert sched.earliest_wake(0) == 500
+    assert sched.next_task(0, 500) is got  # woken
+
+
+def test_requeue_ignores_exited():
+    sched = RoundRobinScheduler(1, 100)
+    task = make_task(0)
+    sched.admit(task)
+    got = sched.next_task(0, 0)
+    got.status = TaskStatus.EXITED
+    sched.requeue(got, 0)
+    assert sched.pending(0) == 0
+
+
+def test_has_work():
+    sched = RoundRobinScheduler(2, 100)
+    assert not sched.has_work()
+    sched.admit(make_task(0))
+    assert sched.has_work()
