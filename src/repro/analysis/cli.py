@@ -9,9 +9,14 @@ Usage (also available as ``python -m repro``):
     python -m repro fig9                   # PARSEC on 2 cores
     python -m repro fig10                  # LLC size sensitivity
     python -m repro attacks                # Section VII attack battery
+    python -m repro faults --quick         # fault-injection detection matrix
 
 Each command prints the artifact in the paper's layout; ``--instructions``
-scales simulation length (longer = tighter match, slower).
+scales simulation length (longer = tighter match, slower).  ``table2`` and
+``export`` accept ``--resume CHECKPOINT.json`` to run under the resilient
+sweep runner: failures are retried then recorded, completed experiments
+are checkpointed, and a rerun with the same file picks up where it left
+off.
 """
 
 from __future__ import annotations
@@ -77,11 +82,39 @@ def _cmd_rsa(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     pairs = (SPEC_SAME_PAIRS + SPEC_MIXED_PAIRS)[: args.pairs or None]
-    results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+    if args.resume:
+        from repro.analysis.runner import resilient_spec_pair_sweep
+        from repro.workloads.mixes import pair_label
+
+        outcome = resilient_spec_pair_sweep(
+            pairs=pairs,
+            instructions=args.instructions,
+            checkpoint_path=args.resume,
+        )
+        _report_sweep_outcome(outcome)
+        labels = [pair_label(a, b) for a, b in pairs]
+        results = outcome.ordered_results(labels)
+        if not results:
+            return 1
+    else:
+        results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
     print(render_table2(results, paper=PAPER_TABLE2_SPEC))
     summary = summarize_overheads(results)
     print(f"\ngeomean overhead {summary['geomean_overhead']:.4f} (paper 0.0113)")
     return 0
+
+
+def _report_sweep_outcome(outcome) -> None:
+    if outcome.resumed:
+        print(
+            f"resumed {len(outcome.resumed)} completed experiment(s) "
+            f"from checkpoint"
+        )
+    for failure in outcome.failures:
+        print(
+            f"FAILED {failure.label}: {failure.error_type}: "
+            f"{failure.message} (after {failure.attempts} attempts)"
+        )
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
@@ -132,10 +165,38 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import export_sweep
 
     pairs = (SPEC_SAME_PAIRS + SPEC_MIXED_PAIRS)[: args.pairs or 4]
-    results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+    if args.resume:
+        from repro.analysis.runner import resilient_spec_pair_sweep
+        from repro.workloads.mixes import pair_label
+
+        outcome = resilient_spec_pair_sweep(
+            pairs=pairs,
+            instructions=args.instructions,
+            checkpoint_path=args.resume,
+        )
+        _report_sweep_outcome(outcome)
+        results = outcome.ordered_results(
+            [pair_label(a, b) for a, b in pairs]
+        )
+    else:
+        results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
     path = export_sweep(results, args.output)
     print(f"wrote {len(results)} results to {path}")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.robustness import run_fault_campaign
+
+    per_model = 3 if args.quick else args.injections
+    matrix = run_fault_campaign(per_model=per_model, seed=args.seed)
+    print(matrix.render())
+    print(
+        f"\n{matrix.total} injections: "
+        f"{matrix.total - matrix.silent_total} detected or benign, "
+        f"{matrix.silent_total} silent"
+    )
+    return 1 if matrix.silent_total else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--pairs", type=int, default=0, help="limit the workload count"
         )
+        if name == "table2":
+            p.add_argument(
+                "--resume",
+                metavar="CHECKPOINT",
+                default=None,
+                help="run resiliently, checkpointing to (and resuming "
+                "from) this JSON file",
+            )
     compare = sub.add_parser(
         "compare", help="TimeCache vs partitioning on one pair"
     )
@@ -170,6 +239,27 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="run a sweep, write JSON results")
     export.add_argument("--output", default="results.json")
     export.add_argument("--pairs", type=int, default=0)
+    export.add_argument(
+        "--resume",
+        metavar="CHECKPOINT",
+        default=None,
+        help="run resiliently, checkpointing to (and resuming from) "
+        "this JSON file",
+    )
+    faults = sub.add_parser(
+        "faults", help="fault-injection campaign against the defense"
+    )
+    faults.add_argument(
+        "--injections",
+        type=int,
+        default=30,
+        help="seeded injections per fault model",
+    )
+    faults.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 3 injections per model",
+    )
     return parser
 
 
@@ -182,6 +272,7 @@ _COMMANDS = {
     "fig10": _cmd_fig10,
     "compare": _cmd_compare,
     "export": _cmd_export,
+    "faults": _cmd_faults,
 }
 
 

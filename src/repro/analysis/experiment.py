@@ -12,13 +12,26 @@ The paper's primary metrics, computed here for every experiment:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.common.config import SimConfig
 from repro.common.units import mpki
 from repro.os.kernel import Kernel, RunSummary
 from repro.workloads.parsec import build_parsec_workload
 from repro.workloads.spec import build_spec_pair
+
+
+@dataclass(frozen=True)
+class SimulationBudget:
+    """Watchdog limits for one simulation.
+
+    Exceeding either raises :class:`~repro.common.errors.SimulationTimeout`
+    (a hard error the resilient sweep runner records), unlike the kernel's
+    ``max_steps`` which truncates silently.  ``None`` disables a limit.
+    """
+
+    wall_clock_s: Optional[float] = None
+    max_instructions: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -122,11 +135,19 @@ def _collect_run(kernel: Kernel, summary: RunSummary) -> SingleRun:
 
 
 def _run_configured(
-    config: SimConfig, build: Callable[[Kernel], object]
+    config: SimConfig,
+    build: Callable[[Kernel], object],
+    budget: Optional[SimulationBudget] = None,
 ) -> SingleRun:
     kernel = Kernel(config)
     build(kernel)
-    summary = kernel.run()
+    if budget is None:
+        summary = kernel.run()
+    else:
+        summary = kernel.run(
+            wall_clock_budget_s=budget.wall_clock_s,
+            instruction_budget=budget.max_instructions,
+        )
     return _collect_run(kernel, summary)
 
 
@@ -136,19 +157,21 @@ def run_spec_pair_experiment(
     bench_b: str,
     instructions: int = 120_000,
     seed: int = 0xBEEF,
+    budget: Optional[SimulationBudget] = None,
 ) -> ExperimentResult:
     """One Table II SPEC row: the pair under baseline and TimeCache.
 
     Both configurations replay the identical deterministic instruction
     streams (same seed), so the cycle ratio isolates the defense's cost.
+    ``budget`` arms the simulation watchdog for both runs.
     """
     from repro.workloads.mixes import pair_label
 
     def build(kernel: Kernel) -> None:
         build_spec_pair(kernel, bench_a, bench_b, instructions, seed=seed)
 
-    base = _run_configured(config.baseline(), build)
-    defended = _run_configured(config, build)
+    base = _run_configured(config.baseline(), build, budget)
+    defended = _run_configured(config, build, budget)
     return ExperimentResult(pair_label(bench_a, bench_b), base, defended)
 
 
@@ -157,12 +180,13 @@ def run_parsec_experiment(
     bench: str,
     instructions_per_thread: int = 1_000_000,
     seed: int = 0xFACE,
+    budget: Optional[SimulationBudget] = None,
 ) -> ExperimentResult:
     """One Table II PARSEC row: 2 threads on 2 cores, both configurations."""
 
     def build(kernel: Kernel) -> None:
         build_parsec_workload(kernel, bench, instructions_per_thread, seed=seed)
 
-    base = _run_configured(config.baseline(), build)
-    defended = _run_configured(config, build)
+    base = _run_configured(config.baseline(), build, budget)
+    defended = _run_configured(config, build, budget)
     return ExperimentResult(bench, base, defended)

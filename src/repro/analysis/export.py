@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Sequence, Union
 
 from repro.analysis.comparison import DefenseComparison
-from repro.analysis.experiment import ExperimentResult, SingleRun
+from repro.analysis.experiment import ExperimentResult, LevelMpki, SingleRun
 
 SCHEMA_VERSION = 1
 
@@ -53,6 +53,40 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         "baseline": run_to_dict(result.baseline),
         "timecache": run_to_dict(result.timecache),
     }
+
+
+def run_from_dict(payload: Mapping) -> SingleRun:
+    """Rebuild a :class:`SingleRun` from its serialized form.
+
+    Inverse of :func:`run_to_dict` up to the raw ``stats`` counters,
+    which are not serialized (the schema keeps only the derived
+    metrics); a reconstructed run has an empty ``stats`` dict.
+    """
+    return SingleRun(
+        cycles=int(payload["cycles"]),
+        instructions=int(payload["instructions"]),
+        context_switches=int(payload["context_switches"]),
+        switch_bookkeeping_cycles=int(payload["switch_bookkeeping_cycles"]),
+        level_mpki={
+            name: LevelMpki(
+                name,
+                misses=float(level["mpki"]),
+                first_access_misses=float(level["first_access_mpki"]),
+            )
+            for name, level in payload.get("levels", {}).items()
+        },
+    )
+
+
+def result_from_dict(payload: Mapping) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult`; inverse of
+    :func:`result_to_dict` (the normalized/overhead fields are derived
+    properties and need no restoring)."""
+    return ExperimentResult(
+        label=payload["label"],
+        baseline=run_from_dict(payload["baseline"]),
+        timecache=run_from_dict(payload["timecache"]),
+    )
 
 
 def sweep_to_dict(

@@ -8,14 +8,21 @@ claims (who wins, orderings, trends).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.experiment import (
     ExperimentResult,
+    SimulationBudget,
     run_parsec_experiment,
     run_spec_pair_experiment,
 )
 from repro.common.config import SimConfig, scaled_experiment_config
+from repro.robustness.resilience import (
+    Checkpoint,
+    SweepOutcome,
+    run_resilient_jobs,
+)
 from repro.workloads.mixes import (
     PARSEC_BENCHMARKS,
     SPEC_MIXED_PAIRS,
@@ -75,6 +82,85 @@ def llc_sensitivity_sweep(
             for a, b in pairs
         ]
     return results
+
+
+def _result_checkpoint(
+    checkpoint_path: Optional[Union[str, Path]]
+) -> Optional[Checkpoint]:
+    if checkpoint_path is None:
+        return None
+    from repro.analysis.export import result_from_dict, result_to_dict
+
+    return Checkpoint(
+        checkpoint_path, serialize=result_to_dict, deserialize=result_from_dict
+    )
+
+
+def resilient_spec_pair_sweep(
+    pairs: Sequence[Tuple[str, str]] = tuple(SPEC_SAME_PAIRS + SPEC_MIXED_PAIRS),
+    instructions: int = 120_000,
+    llc_kib: int = 128,
+    seed: int = 0xBEEF,
+    budget: Optional[SimulationBudget] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+) -> SweepOutcome:
+    """:func:`spec_pair_sweep` under the resilient runner.
+
+    A pair that crashes or exceeds ``budget`` is retried with backoff and
+    ultimately becomes a ``FailureRecord`` instead of sinking the sweep;
+    ``checkpoint_path`` enables resume — completed pairs are loaded, not
+    re-simulated, and previously failed pairs get a fresh chance.
+    """
+    from repro.workloads.mixes import pair_label
+
+    config = scaled_experiment_config(num_cores=1, llc_kib=llc_kib, seed=seed)
+
+    def job(a: str, b: str):
+        return lambda: run_spec_pair_experiment(
+            config, a, b, instructions=instructions, seed=seed, budget=budget
+        )
+
+    jobs = [(pair_label(a, b), job(a, b)) for a, b in pairs]
+    return run_resilient_jobs(
+        jobs,
+        retries=retries,
+        backoff_s=backoff_s,
+        checkpoint=_result_checkpoint(checkpoint_path),
+    )
+
+
+def resilient_parsec_sweep(
+    benchmarks: Sequence[str] = tuple(PARSEC_BENCHMARKS),
+    instructions_per_thread: int = 1_000_000,
+    llc_kib: int = 128,
+    seed: int = 0xFACE,
+    budget: Optional[SimulationBudget] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+) -> SweepOutcome:
+    """:func:`parsec_sweep` under the resilient runner (see
+    :func:`resilient_spec_pair_sweep` for the failure semantics)."""
+    config = scaled_experiment_config(num_cores=2, llc_kib=llc_kib, seed=seed)
+
+    def job(bench: str):
+        return lambda: run_parsec_experiment(
+            config,
+            bench,
+            instructions_per_thread=instructions_per_thread,
+            seed=seed,
+            budget=budget,
+        )
+
+    jobs = [(bench, job(bench)) for bench in benchmarks]
+    return run_resilient_jobs(
+        jobs,
+        retries=retries,
+        backoff_s=backoff_s,
+        checkpoint=_result_checkpoint(checkpoint_path),
+    )
 
 
 def single_config(llc_kib: int = 128, num_cores: int = 1) -> SimConfig:

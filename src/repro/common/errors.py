@@ -18,6 +18,45 @@ class SimulationError(ReproError):
     """The simulator reached a state that violates its own invariants."""
 
 
+class InvariantViolation(SimulationError):
+    """A TimeCache security or structural invariant was observed broken.
+
+    Raised by the robustness layer's invariant checker; carries enough
+    diagnostic context (cache, slot, hardware context, task, detail) to
+    localize the violating state without a debugger.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        invariant: str = "",
+        cache: str = "",
+        set_idx: int = -1,
+        way: int = -1,
+        ctx: int = -1,
+        task: object = None,
+    ) -> None:
+        self.invariant = invariant
+        self.cache = cache
+        self.set_idx = set_idx
+        self.way = way
+        self.ctx = ctx
+        self.task = task
+        where = ""
+        if cache:
+            where = f" [{cache} set={set_idx} way={way} ctx={ctx} task={task}]"
+        super().__init__(f"{invariant or 'invariant'}: {detail}{where}")
+
+
+class SimulationTimeout(ReproError):
+    """A simulation exceeded its wall-clock or instruction budget."""
+
+
+class FaultInjectionError(ReproError):
+    """The fault injector itself was misused or could not inject."""
+
+
 class SchedulerError(ReproError):
     """An OS-layer scheduling operation was invalid (e.g. unknown process)."""
 

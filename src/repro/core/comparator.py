@@ -27,6 +27,7 @@ test suite property-checks that the two agree for every width.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -53,6 +54,18 @@ class BitSerialComparator:
 
     def __init__(self, domain: TimestampDomain) -> None:
         self.domain = domain
+        #: narrow fault-injection seam (repro.robustness): when set, the
+        #: reset mask of every comparison passes through this filter
+        #: before the s-bit clears are applied.  Models dropped or
+        #: spurious comparator clears without monkeypatching.
+        self.reset_mask_filter: Optional[
+            Callable[[np.ndarray], np.ndarray]
+        ] = None
+
+    def _filtered(self, mask: np.ndarray) -> np.ndarray:
+        if self.reset_mask_filter is not None:
+            mask = self.reset_mask_filter(mask)
+        return mask
 
     def compare_sram(self, sram: TransposeSram, ts: int) -> ComparatorResult:
         """Scan a transposed timestamp array against ``Ts``.
@@ -84,7 +97,7 @@ class BitSerialComparator:
             cycles += 1
         # One cycle to drive 0 into the s-bits of flagged bitlines.
         cycles += 1
-        return ComparatorResult(reset_mask=greater, cycles=cycles)
+        return ComparatorResult(reset_mask=self._filtered(greater), cycles=cycles)
 
     def compare_values(self, tc_values: np.ndarray, ts: int) -> ComparatorResult:
         """Run the gate-level scan over a plain vector of Tc values."""
@@ -103,4 +116,6 @@ class BitSerialComparator:
         ts_trunc = self.domain.truncate(ts)
         flat = np.asarray(tc_values, dtype=np.int64).reshape(-1)
         mask = flat > ts_trunc
-        return ComparatorResult(reset_mask=mask, cycles=self.domain.bits + 2)
+        return ComparatorResult(
+            reset_mask=self._filtered(mask), cycles=self.domain.bits + 2
+        )

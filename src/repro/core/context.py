@@ -23,7 +23,7 @@ switch into gem5; :class:`SwitchCost` carries the same constant (from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.common.config import TimeCacheConfig
 from repro.common.stats import StatGroup
@@ -57,6 +57,24 @@ class ContextSwitchEngine:
         self.domain = TimestampDomain(config.timestamp_bits)
         self.comparator = BitSerialComparator(self.domain)
         self.stats = StatGroup("context_switch")
+        #: narrow fault-injection seams (repro.robustness).  ``save_filter``
+        #: sees every snapshot before it is recorded and may replace it or
+        #: return None to drop the save (the task keeps its previous one).
+        #: ``restore_filter`` sees the snapshot about to be restored
+        #: (possibly None) and may substitute another — e.g. a stale clone
+        #: with a forged Ts.  Both default to no-ops.
+        self.save_filter: Optional[
+            Callable[
+                [TaskCachingState, int, SavedCachingContext],
+                Optional[SavedCachingContext],
+            ]
+        ] = None
+        self.restore_filter: Optional[
+            Callable[
+                [TaskCachingState, int, Optional[SavedCachingContext], int],
+                Optional[SavedCachingContext],
+            ]
+        ] = None
 
     # ------------------------------------------------------------------
     def save(self, task: TaskCachingState, ctx: int, now_full: int) -> None:
@@ -72,6 +90,12 @@ class ContextSwitchEngine:
         context = SavedCachingContext(ts_full=now_full)
         for cache in self.hierarchy.caches_for_ctx(ctx):
             context.sbits_by_cache[cache.name] = cache.save_sbits(ctx)
+        if self.save_filter is not None:
+            filtered = self.save_filter(task, ctx, context)
+            if filtered is None:
+                self.stats.counter("dropped_saves").add()
+                return
+            context = filtered
         task.record_save(context)
         self.stats.counter("saves").add()
 
@@ -85,6 +109,8 @@ class ContextSwitchEngine:
             return SwitchCost(0, 0, False)
         self.stats.counter("restores").add()
         saved = task.saved
+        if self.restore_filter is not None:
+            saved = self.restore_filter(task, ctx, saved, now_full)
         caches = self.hierarchy.caches_for_ctx(ctx)
         rollover = False
         if saved is not None and self.domain.rolled_over_between(

@@ -38,6 +38,20 @@ class SavedCachingContext:
         """The saved column for ``cache``, or None if never saved from it."""
         return self.sbits_by_cache.get(cache.name)
 
+    def clone(self, ts_full: Optional[int] = None) -> "SavedCachingContext":
+        """An independent deep copy, optionally restamped with a new Ts.
+
+        The robustness layer uses this to model corrupted context-switch
+        state (a stale snapshot replayed with a forged preemption time);
+        cloning keeps the injected snapshot decoupled from the live one.
+        """
+        return SavedCachingContext(
+            ts_full=self.ts_full if ts_full is None else ts_full,
+            sbits_by_cache={
+                name: array.copy() for name, array in self.sbits_by_cache.items()
+            },
+        )
+
     def total_bytes(self) -> int:
         """Kernel memory the snapshot occupies (1 bit per slot, rounded
         up per cache) — the Section VI-D space cost."""

@@ -21,7 +21,7 @@ Quickstart::
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.clock import GlobalClock
 from repro.common.config import SimConfig
@@ -52,6 +52,13 @@ class TimeCacheSystem:
         #: partitioning baseline: security domain per task id (assigned
         #: round-robin on first sight, like CLOS assignment per process)
         self._task_domain: Dict[int, int] = {}
+        #: observation hooks (repro.robustness): called after every
+        #: completed context switch as ``(outgoing, incoming, ctx, now)``.
+        #: The invariant checker scans here; the fault injector uses the
+        #: same point as its deterministic trigger.
+        self.switch_listeners: List[
+            Callable[[Optional[int], int, int, int], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # Memory operations (thin passthroughs with the shared clock)
@@ -101,10 +108,18 @@ class TimeCacheSystem:
         when = self.clock.now if now is None else now
         self.clock.advance_to(when)
         if self.config.partition.enabled:
-            return self._partition_switch(outgoing_task, incoming_task, ctx)
-        if outgoing_task is not None:
-            self.context_engine.save(self.task_state(outgoing_task), ctx, when)
-        return self.context_engine.restore(self.task_state(incoming_task), ctx, when)
+            cost = self._partition_switch(outgoing_task, incoming_task, ctx)
+        else:
+            if outgoing_task is not None:
+                self.context_engine.save(
+                    self.task_state(outgoing_task), ctx, when
+                )
+            cost = self.context_engine.restore(
+                self.task_state(incoming_task), ctx, when
+            )
+        for listener in self.switch_listeners:
+            listener(outgoing_task, incoming_task, ctx, when)
+        return cost
 
     def _partition_switch(
         self, outgoing_task: Optional[int], incoming_task: int, ctx: int

@@ -65,6 +65,20 @@ class TimestampDomain:
             )
         return self.epoch(later_full) != self.epoch(earlier_full)
 
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` is representable in this domain — the
+        structural invariant every stored Tc must satisfy (the robustness
+        checker flags out-of-range values as corruption)."""
+        return 0 <= value <= self.mask
+
+    def next_epoch_start(self, full_time: int) -> int:
+        """The first full cycle count after ``full_time`` whose epoch
+        differs — i.e. the next rollover boundary.  The fault injector's
+        rollover-stress model parks preemption times just before this and
+        resumption times at/after it to force the Section VI-C
+        conservative-reset path."""
+        return (self.epoch(full_time) + 1) << self.bits
+
     def compare_truncated(self, tc: int, ts: int) -> bool:
         """The hardware predicate: unsigned ``tc > ts`` on truncated values.
 

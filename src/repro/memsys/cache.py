@@ -17,7 +17,7 @@ comparator does in hardware.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +75,10 @@ class Cache:
         self.tc = np.zeros((self.num_sets, self.ways), dtype=np.int64)
         #: per-slot s-bit bitmask, one bit per context column
         self.sbits = np.zeros((self.num_sets, self.ways), dtype=np.int64)
+        #: per-slot valid bit, mirroring the tag array's occupancy; gates
+        #: s-bit restores so invalid slots never carry visibility bits
+        #: (the structural invariant the robustness checker enforces)
+        self.valid = np.zeros((self.num_sets, self.ways), dtype=bool)
         #: Section VI-C scaling option: cap the number of contexts whose
         #: s-bit may be simultaneously set per line (a limited-pointer
         #: directory holds ~max_sharers pointers of log2(n) bits instead
@@ -87,6 +91,16 @@ class Cache:
         #: misses — reported separately so scaled (short) runs can report
         #: demand MPKI comparably to the paper's 1e9-instruction runs
         self._ever_filled: set = set()
+        #: observation hook (repro.robustness): called after each metadata
+        #: transition as ``(event, set_idx, way, ctx)`` where event is one
+        #: of "fill", "evict", "invalidate", "sbit_set"; ctx is the global
+        #: hardware context for fill/sbit_set and -1 otherwise.  The
+        #: invariant checker mirrors s-bit entitlement from these events.
+        self.event_listener: Optional[Callable[[str, int, int, int], None]] = None
+
+    def _notify(self, event: str, set_idx: int, way: int, ctx: int = -1) -> None:
+        if self.event_listener is not None:
+            self.event_listener(event, set_idx, way, ctx)
 
     # ------------------------------------------------------------------
     # Addressing helpers
@@ -146,6 +160,7 @@ class Cache:
             current &= ~lowest
             self.stats.counter("sharer_evictions").add()
         self.sbits[set_idx, way] = current | bit
+        self._notify("sbit_set", set_idx, way, ctx)
 
     def fill(
         self,
@@ -185,6 +200,8 @@ class Cache:
         line.dirty = dirty
         self.tc[set_idx, way] = tc_now
         self.sbits[set_idx, way] = self.ctx_bit(ctx)
+        self.valid[set_idx, way] = True
+        self._notify("fill", set_idx, way, ctx)
         self.stats.counter("fills").add()
         if line_addr not in self._ever_filled:
             self._ever_filled.add(line_addr)
@@ -195,6 +212,8 @@ class Cache:
         line = self.sets[set_idx].remove(way)
         # Eviction resets all s-bits for the slot (paper Section V-A).
         self.sbits[set_idx, way] = 0
+        self.valid[set_idx, way] = False
+        self._notify("evict", set_idx, way)
         self.stats.counter("evictions").add()
         if line.dirty:
             self.stats.counter("dirty_evictions").add()
@@ -208,6 +227,8 @@ class Cache:
         set_idx, way = pos
         line = self.sets[set_idx].remove(way)
         self.sbits[set_idx, way] = 0
+        self.valid[set_idx, way] = False
+        self._notify("invalidate", set_idx, way)
         self.stats.counter("invalidations").add()
         return line
 
@@ -254,7 +275,11 @@ class Cache:
                     f"{self.name}: saved s-bit shape {saved.shape} != "
                     f"{(self.num_sets, self.ways)}"
                 )
-            self.sbits |= saved.astype(np.int64) << col
+            # Valid bits gate the restore: a slot whose line was evicted
+            # while the task was away gets no s-bit back (it could never
+            # grant a hit anyway — the tag is gone — but keeping it out
+            # of the array preserves "s-bit set => line valid").
+            self.sbits |= (saved & self.valid).astype(np.int64) << col
         self.stats.counter("sbit_restores").add()
 
     def clear_sbits_where(self, ctx: int, mask: np.ndarray) -> int:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.clock import GlobalClock
 from repro.common.config import HierarchyConfig, TimeCacheConfig
@@ -118,6 +118,16 @@ class MemoryHierarchy:
         #: range per domain.  Empty/None when partitioning is off.
         self._domain_of_ctx: Dict[int, int] = {}
         self._partition_domains = 0
+        #: observation hooks (repro.robustness).  Pre-listeners run before
+        #: an access mutates any state, post-listeners after it completes;
+        #: both receive the *line* address.  Empty lists cost nothing on
+        #: the hot path.
+        self.pre_access_listeners: List[
+            Callable[[int, int, AccessKind, int], None]
+        ] = []
+        self.post_access_listeners: List[
+            Callable[[int, int, AccessKind, int, AccessResult], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # CAT-style way partitioning (the comparison baseline)
@@ -266,8 +276,14 @@ class MemoryHierarchy:
         if is_write and kind is AccessKind.IFETCH:
             raise SimulationError("instruction fetches cannot write")
         self.clock.advance_to(now)
+        if self.pre_access_listeners:
+            for listener in self.pre_access_listeners:
+                listener(ctx, line, kind, now)
         result = self._access_l1(l1, line, ctx, is_write, now)
         self.stats.counter("accesses").add()
+        if self.post_access_listeners:
+            for listener in self.post_access_listeners:
+                listener(ctx, line, kind, now, result)
         return result
 
     def _access_l1(

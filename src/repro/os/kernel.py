@@ -17,11 +17,12 @@ adds the measured 1.08 us DMA latency to each switch in gem5.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.common.config import SimConfig
-from repro.common.errors import SchedulerError
+from repro.common.errors import SchedulerError, SimulationTimeout
 from repro.core.timecache import TimeCacheSystem
 from repro.cpu.cpu import HardwareContext, StepEvent
 from repro.os.process import Process, Task, TaskStatus
@@ -176,23 +177,58 @@ class Kernel:
                 best_time = hw.local_time
         return best
 
+    def instructions_executed(self) -> int:
+        """Instructions retired so far, including the running slices."""
+        total = sum(t.instructions for t in self.tasks)
+        for ctx_id, task in self._current.items():
+            if task is not None:
+                hw = self.contexts[ctx_id]
+                total += hw.instructions - self._dispatch_instr[ctx_id]
+        return total
+
     def run(
         self,
         max_steps: int = 50_000_000,
         stop_when: Optional[Callable[["Kernel"], bool]] = None,
         stop_check_interval: int = 256,
+        wall_clock_budget_s: Optional[float] = None,
+        instruction_budget: Optional[int] = None,
     ) -> RunSummary:
         """Run until every task exits, ``stop_when`` fires, or ``max_steps``.
 
         ``stop_when`` is evaluated every ``stop_check_interval`` steps so
         open-ended programs (a looping attacker) can be stopped once the
         interesting task (the victim) finishes.
+
+        ``wall_clock_budget_s`` / ``instruction_budget`` arm the watchdog:
+        unlike ``max_steps`` (which truncates silently), exceeding either
+        budget raises :class:`SimulationTimeout` so a sweep runner can
+        record the failure and move on (checked every
+        ``stop_check_interval`` steps, like ``stop_when``).
         """
         steps = 0
+        deadline = (
+            time.monotonic() + wall_clock_budget_s
+            if wall_clock_budget_s is not None
+            else None
+        )
         while steps < max_steps:
-            if stop_when is not None and steps % stop_check_interval == 0:
-                if stop_when(self):
+            if steps % stop_check_interval == 0:
+                if stop_when is not None and stop_when(self):
                     break
+                if deadline is not None and time.monotonic() > deadline:
+                    raise SimulationTimeout(
+                        f"wall-clock budget {wall_clock_budget_s}s exceeded "
+                        f"after {steps} steps"
+                    )
+                if (
+                    instruction_budget is not None
+                    and self.instructions_executed() > instruction_budget
+                ):
+                    raise SimulationTimeout(
+                        f"instruction budget {instruction_budget} exceeded "
+                        f"after {steps} steps"
+                    )
             ctx_id = self._pick_context()
             if ctx_id is None:
                 break  # machine fully idle: all tasks exited

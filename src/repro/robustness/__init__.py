@@ -1,0 +1,62 @@
+"""Robustness layer: fault injection, invariant checking, resilient sweeps.
+
+Three independent pieces, usable separately:
+
+* :mod:`repro.robustness.invariants` — an :class:`InvariantChecker` that
+  watches a running :class:`~repro.core.timecache.TimeCacheSystem` and
+  raises on any breach of the paper's security or structural invariants;
+* :mod:`repro.robustness.faults` — deterministic fault models corrupting
+  the defense's trusted state (s-bits, comparator, Tc, switch
+  save/restore), plus the campaign driver in
+  :mod:`repro.robustness.campaign` producing a detection matrix
+  (``repro faults`` on the command line);
+* :mod:`repro.robustness.resilience` — retry/backoff, graceful
+  degradation, and checkpoint/resume for long sweeps (used by
+  :mod:`repro.analysis.runner`).
+"""
+
+from repro.robustness.campaign import (
+    DetectionMatrix,
+    InjectionOutcome,
+    campaign_config,
+    run_fault_campaign,
+    run_single_injection,
+)
+from repro.robustness.faults import (
+    ALL_FAULT_MODELS,
+    DroppedComparatorClear,
+    FaultEvent,
+    FaultInjector,
+    FaultModel,
+    SBitCorruption,
+    SwitchStateLoss,
+    TcCorruption,
+)
+from repro.robustness.invariants import InvariantChecker
+from repro.robustness.resilience import (
+    Checkpoint,
+    FailureRecord,
+    SweepOutcome,
+    run_resilient_jobs,
+)
+
+__all__ = [
+    "ALL_FAULT_MODELS",
+    "Checkpoint",
+    "DetectionMatrix",
+    "DroppedComparatorClear",
+    "FailureRecord",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultModel",
+    "InjectionOutcome",
+    "InvariantChecker",
+    "SBitCorruption",
+    "SweepOutcome",
+    "SwitchStateLoss",
+    "TcCorruption",
+    "campaign_config",
+    "run_fault_campaign",
+    "run_resilient_jobs",
+    "run_single_injection",
+]

@@ -1,0 +1,214 @@
+"""Resilient execution of long experiment sweeps.
+
+A paper-scale sweep is hours of simulation; one diverging workload or
+wall-clock overrun should cost one retry, not the whole run.  This module
+provides the generic machinery — the analysis layer
+(:mod:`repro.analysis.runner`) wraps its sweeps around it:
+
+* **retry with exponential backoff** for transient failures;
+* **graceful degradation**: a job that keeps failing becomes a
+  :class:`FailureRecord` while every other job's result is still
+  returned;
+* **checkpoint/resume**: after every finished job the completed results
+  are written to a JSON checkpoint; a rerun pointed at the same file
+  skips completed jobs (previously *failed* jobs are retried — a resume
+  is exactly a second chance for them).
+
+Deliberately not caught: :class:`KeyboardInterrupt` (the operator wins;
+the checkpoint preserves progress) and :class:`BaseException` generally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+CHECKPOINT_SCHEMA = 1
+
+#: a sweep job: a stable label and a thunk producing the result
+Job = Tuple[str, Callable[[], object]]
+
+
+@dataclass
+class FailureRecord:
+    """A job that exhausted its retries."""
+
+    label: str
+    attempts: int
+    error_type: str
+    message: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "FailureRecord":
+        return FailureRecord(
+            label=payload["label"],
+            attempts=int(payload["attempts"]),
+            error_type=payload["error_type"],
+            message=payload["message"],
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """What a resilient sweep produced: results keyed by job label, plus
+    the failures, in job order."""
+
+    results: Dict[str, object] = field(default_factory=dict)
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: labels that were loaded from a checkpoint rather than re-run
+    resumed: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def ordered_results(self, labels: Sequence[str]) -> List[object]:
+        """Results in the given label order, skipping failed jobs."""
+        return [self.results[lab] for lab in labels if lab in self.results]
+
+
+class Checkpoint:
+    """JSON persistence for a sweep in progress.
+
+    The file stores serialized results (via the caller's ``serialize``)
+    keyed by job label, plus the failure records::
+
+        {"schema": 1, "kind": "sweep_checkpoint",
+         "completed": {label: <payload>}, "failures": [<record>, ...]}
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        serialize: Callable[[object], Dict],
+        deserialize: Callable[[Dict], object],
+    ) -> None:
+        self.path = Path(path)
+        self.serialize = serialize
+        self.deserialize = deserialize
+        self.completed: Dict[str, Dict] = {}
+        self.failures: List[FailureRecord] = []
+
+    def load(self) -> None:
+        """Read a prior run's progress; a missing file is a fresh start."""
+        if not self.path.exists():
+            return
+        import json
+
+        with open(self.path) as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != CHECKPOINT_SCHEMA or payload.get(
+            "kind"
+        ) != "sweep_checkpoint":
+            raise ValueError(f"{self.path}: not a sweep checkpoint")
+        self.completed = dict(payload.get("completed", {}))
+        self.failures = [
+            FailureRecord.from_dict(f) for f in payload.get("failures", [])
+        ]
+
+    def result_for(self, label: str) -> Optional[object]:
+        payload = self.completed.get(label)
+        return None if payload is None else self.deserialize(payload)
+
+    def record_success(self, label: str, result: object) -> None:
+        self.completed[label] = self.serialize(result)
+        # A success supersedes any failure recorded for the label by an
+        # earlier (resumed) run.
+        self.failures = [f for f in self.failures if f.label != label]
+        self._write()
+
+    def record_failure(self, record: FailureRecord) -> None:
+        self.failures = [f for f in self.failures if f.label != record.label]
+        self.failures.append(record)
+        self._write()
+
+    def _write(self) -> None:
+        import json
+
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "kind": "sweep_checkpoint",
+            "completed": self.completed,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        tmp.replace(self.path)
+
+
+def run_resilient_jobs(
+    jobs: Sequence[Job],
+    *,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+    checkpoint: Optional[Checkpoint] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_event: Optional[Callable[[str, str], None]] = None,
+) -> SweepOutcome:
+    """Run every job, retrying failures and checkpointing progress.
+
+    ``retries`` is the number of *re*-tries after the first attempt, so a
+    job runs at most ``retries + 1`` times; the n-th retry waits
+    ``backoff_s * 2**(n-1)`` seconds first (``sleep`` is injectable for
+    tests).  ``on_event(label, event)`` observes progress with events
+    ``"resumed" | "ok" | "retry" | "failed"``.
+    """
+    if checkpoint is not None:
+        checkpoint.load()
+    outcome = SweepOutcome()
+
+    def notify(label: str, event: str) -> None:
+        if on_event is not None:
+            on_event(label, event)
+
+    for label, thunk in jobs:
+        if checkpoint is not None:
+            prior = checkpoint.result_for(label)
+            if prior is not None:
+                outcome.results[label] = prior
+                outcome.resumed.append(label)
+                notify(label, "resumed")
+                continue
+        error: Optional[BaseException] = None
+        attempts = 0
+        for attempt in range(retries + 1):
+            attempts = attempt + 1
+            if attempt:
+                sleep(backoff_s * 2 ** (attempt - 1))
+                notify(label, "retry")
+            try:
+                result = thunk()
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                error = exc
+                continue
+            outcome.results[label] = result
+            if checkpoint is not None:
+                checkpoint.record_success(label, result)
+            notify(label, "ok")
+            error = None
+            break
+        if error is not None:
+            record = FailureRecord(
+                label=label,
+                attempts=attempts,
+                error_type=type(error).__name__,
+                message=str(error),
+            )
+            outcome.failures.append(record)
+            if checkpoint is not None:
+                checkpoint.record_failure(record)
+            notify(label, "failed")
+    return outcome

@@ -40,7 +40,14 @@ def test_fork_stable_across_processes():
     in_process = [stream.randint(0, 10**6) for _ in range(3)]
     import subprocess
     import sys
+    from pathlib import Path
 
+    import repro
+
+    # The child is spawned with a scrubbed environment, so `repro` is not
+    # importable unless the package's source directory is put back on its
+    # path explicitly.
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
     script = (
         "from repro.common.rng import DeterministicRng;"
         "r = DeterministicRng(7).fork('workload');"
@@ -51,7 +58,11 @@ def test_fork_stable_across_processes():
         capture_output=True,
         text=True,
         check=True,
-        env={"PYTHONHASHSEED": "random", "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": "random",
+            "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": src_dir,
+        },
     ).stdout.strip()
     assert out == str(in_process)
 

@@ -158,6 +158,40 @@ class TestRollover:
         # truncated Tc (200) > truncated Ts (6): unnecessary reset happens
         assert r.first_access
 
+    def test_conservative_reset_at_minimum_width(self):
+        """bits=2 is the harshest regime: epochs are 4 cycles, so any
+        realistic preemption gap spans one and the Section VI-C rule —
+        preempted before, resumed after a rollover -> full s-bit reset —
+        must fire essentially every switch."""
+        system = TimeCacheSystem(tiny_config(timestamp_bits=2))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=1)
+        system.context_switch(1, 2, ctx=0, now=3)  # preempt in epoch 0
+        cost = system.context_switch(2, 1, ctx=0, now=5)  # resume, epoch 1
+        assert cost.rollover_reset
+        r = system.load(0, 0x1000, now=6)
+        assert r.first_access  # all bits conservatively gone
+
+    def test_minimum_width_same_epoch_keeps_bits(self):
+        system = TimeCacheSystem(tiny_config(timestamp_bits=2))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=1)
+        system.context_switch(1, 2, ctx=0, now=8)  # epoch 2
+        cost = system.context_switch(2, 1, ctx=0, now=9)  # still epoch 2
+        assert not cost.rollover_reset
+
+    def test_no_conservative_reset_at_maximum_width(self):
+        """bits=64 never rolls over within any simulated run: visibility
+        must survive arbitrary preemption gaps untouched."""
+        system = TimeCacheSystem(tiny_config(timestamp_bits=64))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=10)
+        system.context_switch(1, 2, ctx=0, now=1_000)
+        cost = system.context_switch(2, 1, ctx=0, now=10**15)
+        assert not cost.rollover_reset
+        r = system.load(0, 0x1000, now=10**15 + 10)
+        assert not r.first_access  # untouched line, bit preserved
+
 
 class TestGateLevelPath:
     def test_gate_level_comparator_gives_same_behavior(self):

@@ -86,6 +86,58 @@ def test_to_bits_msb_first():
         d.to_bits_msb_first(16)
 
 
+class TestEdgeWidths:
+    """The domain contract at its extreme widths, 2 and 64 bits."""
+
+    def test_minimum_width_rollover(self):
+        d = TimestampDomain(2)
+        assert d.modulus == 4 and d.mask == 3
+        assert d.truncate(3) == 3
+        assert d.truncate(4) == 0
+        assert d.epoch(3) == 0 and d.epoch(4) == 1
+        # Nearly every preemption spans an epoch at 2 bits.
+        assert d.rolled_over_between(3, 4)
+        assert not d.rolled_over_between(4, 7)
+        assert d.rolled_over_between(0, 4_000_000)  # many wraps at once
+
+    def test_maximum_width_never_rolls_over_in_practice(self):
+        d = TimestampDomain(64)
+        assert d.modulus == 1 << 64
+        century_of_cycles = 10**19  # ~100 years at 3 GHz
+        assert d.truncate(century_of_cycles) == century_of_cycles
+        assert d.epoch(century_of_cycles) == 0
+        assert not d.rolled_over_between(0, century_of_cycles)
+        assert d.rolled_over_between(d.modulus - 1, d.modulus)
+
+    def test_contains_at_edge_widths(self):
+        narrow, wide = TimestampDomain(2), TimestampDomain(64)
+        for d in (narrow, wide):
+            assert d.contains(0) and d.contains(d.mask)
+            assert not d.contains(-1)
+            assert not d.contains(d.mask + 1)
+
+    def test_next_epoch_start_at_edge_widths(self):
+        narrow = TimestampDomain(2)
+        assert narrow.next_epoch_start(0) == 4
+        assert narrow.next_epoch_start(3) == 4
+        assert narrow.next_epoch_start(4) == 8
+        wide = TimestampDomain(64)
+        assert wide.next_epoch_start(123) == 1 << 64
+        # The boundary is the first time whose epoch differs.
+        for d, t in ((narrow, 2), (wide, 5)):
+            boundary = d.next_epoch_start(t)
+            assert d.epoch(boundary) == d.epoch(t) + 1
+            assert d.epoch(boundary - 1) == d.epoch(t)
+
+
+def test_contains_matches_truncate_fixpoint():
+    d = TimestampDomain(8)
+    for value in (0, 1, 255):
+        assert d.contains(value) and d.truncate(value) == value
+    for value in (256, 1000):
+        assert not d.contains(value)
+
+
 @given(st.integers(2, 16), st.integers(0, 10**9), st.integers(0, 10**9))
 def test_rollover_iff_epoch_differs(bits, a, b):
     lo, hi = min(a, b), max(a, b)
