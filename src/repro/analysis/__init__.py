@@ -31,9 +31,17 @@ from repro.analysis.export import (
     sweep_to_dict,
 )
 from repro.analysis.figures import ascii_bars, figure7, figure9a, figure10
+from repro.analysis.parallel import (
+    ParallelSweepExecutor,
+    SweepJob,
+    derive_job_seed,
+    run_sweep_jobs,
+)
 from repro.analysis.runner import (
     llc_sensitivity_sweep,
     parsec_sweep,
+    resilient_parsec_sweep,
+    resilient_spec_pair_sweep,
     spec_pair_sweep,
 )
 from repro.analysis.tables import (
@@ -47,6 +55,12 @@ __all__ = [
     "DefenseReport",
     "ExperimentResult",
     "LevelMpki",
+    "ParallelSweepExecutor",
+    "SweepJob",
+    "derive_job_seed",
+    "resilient_parsec_sweep",
+    "resilient_spec_pair_sweep",
+    "run_sweep_jobs",
     "ascii_bars",
     "compare_defenses",
     "comparison_to_dict",

@@ -1,0 +1,350 @@
+"""Perf benchmark harness: time the hot paths, gate regressions.
+
+``repro bench`` times a handful of representative workloads and writes
+one ``BENCH_<name>.json`` per workload (median over repeated runs plus
+machine metadata), giving the repository a perf trajectory that CI can
+watch.  The workloads:
+
+* ``single_config``     — one baseline-vs-TimeCache SPEC pair experiment
+  (the unit of every sweep);
+* ``comparator``        — the gate-level ``compare_sram`` scan vs the
+  vectorized ``fast_compare`` over the same timestamp array;
+* ``hierarchy_access``  — raw access throughput through the modeled
+  L1/LLC hierarchy with TimeCache enabled;
+* ``sweep_parallel``    — a small SPEC pair sweep at ``--jobs 1`` vs
+  ``--jobs N``, recording the process-pool speedup.
+
+Comparison mode (``--baseline PATH``) loads a committed baseline (see
+``benchmarks/perf/BASELINE.json``) and *fails* — returns regressions —
+when any shared workload's median exceeds the baseline by more than
+``threshold`` (default 20%).  Hosted CI runners have noisy, alien
+hardware, so the perf-smoke job runs the comparison warn-only; the
+comparison logic itself is strict and unit-tested.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+BENCH_SCHEMA = 1
+#: relative slowdown vs baseline that counts as a regression
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass
+class BenchResult:
+    """Timing for one benchmark workload."""
+
+    name: str
+    runs: List[float]
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.runs)
+
+    def to_dict(self, meta: Optional[Mapping] = None) -> Dict:
+        payload: Dict = {
+            "schema": BENCH_SCHEMA,
+            "kind": "bench_result",
+            "name": self.name,
+            "median_s": self.median_s,
+            "runs": list(self.runs),
+            "extra": dict(self.extra),
+        }
+        if meta is not None:
+            payload["meta"] = dict(meta)
+        return payload
+
+
+def machine_metadata() -> Dict:
+    """Where a measurement came from — medians are only comparable
+    against a baseline taken on similar hardware."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "taken_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def _time_runs(fn: Callable[[], object], repeats: int) -> List[float]:
+    runs: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - start)
+    return runs
+
+
+# --------------------------------------------------------------------------
+# workloads
+
+
+def bench_single_config(quick: bool = False) -> BenchResult:
+    """One SPEC pair experiment — the unit of work every sweep repeats."""
+    from repro.analysis.experiment import run_spec_pair_experiment
+    from repro.common.config import scaled_experiment_config
+
+    instructions = 4_000 if quick else 40_000
+    config = scaled_experiment_config(num_cores=1, llc_kib=32, seed=0xBEEF)
+    runs = _time_runs(
+        lambda: run_spec_pair_experiment(
+            config, "wrf", "wrf", instructions=instructions, seed=0xBEEF
+        ),
+        repeats=3 if quick else 5,
+    )
+    return BenchResult(
+        name="single_config",
+        runs=runs,
+        extra={"instructions": float(instructions)},
+    )
+
+
+def bench_comparator(quick: bool = False) -> BenchResult:
+    """Gate-level bit-serial scan vs the vectorized functional path.
+
+    The headline number (``runs``) times ``fast_compare`` — the path the
+    experiments take on every context switch; ``extra`` records the
+    gate-level ``compare_sram`` median over the same array and the
+    resulting speedup.
+    """
+    from repro.core.comparator import BitSerialComparator
+    from repro.core.timestamp import TimestampDomain
+
+    words = 4_096 if quick else 16_384
+    domain = TimestampDomain(bits=16)
+    comparator = BitSerialComparator(domain)
+    rng = np.random.default_rng(0xC0FFEE)
+    tc_values = rng.integers(0, domain.modulus, size=words, dtype=np.int64)
+    ts = int(domain.modulus // 2)
+    repeats = 5 if quick else 9
+
+    fast_runs = _time_runs(lambda: comparator.fast_compare(tc_values, ts), repeats)
+    sram_runs = _time_runs(
+        lambda: comparator.compare_values(tc_values, ts), repeats
+    )
+    fast_median = statistics.median(fast_runs)
+    sram_median = statistics.median(sram_runs)
+    return BenchResult(
+        name="comparator",
+        runs=fast_runs,
+        extra={
+            "words": float(words),
+            "sram_median_s": sram_median,
+            "fast_median_s": fast_median,
+            "fast_speedup": sram_median / fast_median if fast_median else 0.0,
+        },
+    )
+
+
+def bench_hierarchy_access(quick: bool = False) -> BenchResult:
+    """Raw access throughput through the modeled hierarchy."""
+    from repro.common.rng import DeterministicRng
+    from repro.core.timecache import TimeCacheSystem
+    from repro.memsys.hierarchy import AccessKind
+    from repro.robustness.campaign import campaign_config
+
+    accesses = 20_000 if quick else 100_000
+    system = TimeCacheSystem(campaign_config(seed=7))
+    line_bytes = system.config.hierarchy.line_bytes
+    rng = DeterministicRng(7)
+    pool = [0x10000 + i * line_bytes for i in range(256)]
+    addrs = [rng.choice(pool) for _ in range(accesses)]
+
+    def drive() -> None:
+        now = 0
+        for addr in addrs:
+            result = system.access(0, addr, AccessKind.LOAD, now=now)
+            now += max(1, result.latency)
+
+    runs = _time_runs(drive, repeats=3 if quick else 5)
+    return BenchResult(
+        name="hierarchy_access",
+        runs=runs,
+        extra={
+            "accesses": float(accesses),
+            "accesses_per_s": accesses / statistics.median(runs),
+        },
+    )
+
+
+def bench_sweep_parallel(
+    quick: bool = False, jobs: Optional[int] = None
+) -> BenchResult:
+    """A small SPEC pair sweep serially vs across the process pool.
+
+    ``runs`` times the parallel sweep; ``extra`` records the serial
+    median and the speedup — the number the tentpole exists to move.
+    """
+    from repro.analysis.parallel import resolve_jobs
+    from repro.analysis.runner import spec_pair_sweep
+
+    workers = resolve_jobs(jobs)
+    pairs = [("wrf", "wrf"), ("milc", "milc"), ("perlbench", "perlbench"),
+             ("gobmk", "gobmk")]
+    instructions = 8_000 if quick else 40_000
+    repeats = 1 if quick else 3
+
+    serial_runs = _time_runs(
+        lambda: spec_pair_sweep(pairs=pairs, instructions=instructions, jobs=1),
+        repeats,
+    )
+    parallel_runs = _time_runs(
+        lambda: spec_pair_sweep(
+            pairs=pairs, instructions=instructions, jobs=workers
+        ),
+        repeats,
+    )
+    serial_median = statistics.median(serial_runs)
+    parallel_median = statistics.median(parallel_runs)
+    return BenchResult(
+        name="sweep_parallel",
+        runs=parallel_runs,
+        extra={
+            "pairs": float(len(pairs)),
+            "instructions": float(instructions),
+            "jobs": float(workers),
+            "serial_median_s": serial_median,
+            "parallel_median_s": parallel_median,
+            "speedup": serial_median / parallel_median if parallel_median else 0.0,
+        },
+    )
+
+
+#: name -> workload; iteration order is execution order
+BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
+    "single_config": bench_single_config,
+    "comparator": bench_comparator,
+    "hierarchy_access": bench_hierarchy_access,
+    "sweep_parallel": bench_sweep_parallel,
+}
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+) -> Dict[str, BenchResult]:
+    """Run the named workloads (all by default), in registry order."""
+    selected = list(BENCHMARKS) if not names else list(names)
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {unknown}; known: {sorted(BENCHMARKS)}"
+        )
+    results: Dict[str, BenchResult] = {}
+    for name in selected:
+        fn = BENCHMARKS[name]
+        if name == "sweep_parallel":
+            results[name] = fn(quick=quick, jobs=jobs)
+        else:
+            results[name] = fn(quick=quick)
+    return results
+
+
+def write_results(
+    results: Mapping[str, BenchResult],
+    output_dir: Union[str, Path] = ".",
+) -> List[Path]:
+    """Write one ``BENCH_<name>.json`` per result; returns the paths."""
+    from repro.analysis.export import save_json
+
+    meta = machine_metadata()
+    out = Path(output_dir)
+    paths: List[Path] = []
+    for name, result in results.items():
+        paths.append(save_json(result.to_dict(meta), out / f"BENCH_{name}.json"))
+    return paths
+
+
+# --------------------------------------------------------------------------
+# baseline comparison
+
+
+def baseline_payload(results: Mapping[str, BenchResult]) -> Dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "bench_baseline",
+        "meta": machine_metadata(),
+        "benches": {
+            name: {"median_s": result.median_s, "extra": dict(result.extra)}
+            for name, result in results.items()
+        },
+    }
+
+
+def write_baseline(
+    results: Mapping[str, BenchResult], path: Union[str, Path]
+) -> Path:
+    """Persist the current medians as the committed baseline."""
+    from repro.analysis.export import save_json
+
+    return save_json(baseline_payload(results), path)
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, float]:
+    """Baseline medians keyed by bench name."""
+    import json
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != "bench_baseline":
+        raise ValueError(f"{path}: not a bench baseline file")
+    return {
+        name: float(entry["median_s"])
+        for name, entry in payload.get("benches", {}).items()
+    }
+
+
+def compare_to_baseline(
+    results: Mapping[str, BenchResult],
+    baseline: Mapping[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Regression messages for every shared bench that got slower.
+
+    A bench regresses when ``current > baseline * (1 + threshold)``.
+    Benches present on only one side are ignored (new benches must not
+    fail the gate retroactively).  An empty list means the gate passes.
+    """
+    regressions: List[str] = []
+    for name, result in results.items():
+        base = baseline.get(name)
+        if base is None or base <= 0:
+            continue
+        ratio = result.median_s / base
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}: {result.median_s:.4f}s vs baseline {base:.4f}s "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+    return regressions
+
+
+def render_results(results: Mapping[str, BenchResult]) -> str:
+    """One line per bench: median plus the most interesting extras."""
+    lines = []
+    for name, result in results.items():
+        extras = ""
+        if "speedup" in result.extra:
+            extras = f"  speedup {result.extra['speedup']:.2f}x"
+        elif "fast_speedup" in result.extra:
+            extras = f"  fast_speedup {result.extra['fast_speedup']:.1f}x"
+        elif "accesses_per_s" in result.extra:
+            extras = f"  {result.extra['accesses_per_s']:,.0f} accesses/s"
+        lines.append(
+            f"{name:<18} median {result.median_s:.4f}s over "
+            f"{len(result.runs)} run(s){extras}"
+        )
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ Usage (also available as ``python -m repro``):
     python -m repro fig10                  # LLC size sensitivity
     python -m repro attacks                # Section VII attack battery
     python -m repro faults --quick         # fault-injection detection matrix
+    python -m repro bench --quick          # perf harness, BENCH_*.json
 
 Each command prints the artifact in the paper's layout; ``--instructions``
 scales simulation length (longer = tighter match, slower).  ``table2`` and
@@ -17,6 +18,10 @@ scales simulation length (longer = tighter match, slower).  ``table2`` and
 sweep runner: failures are retried then recorded, completed experiments
 are checkpointed, and a rerun with the same file picks up where it left
 off.
+
+``--jobs N`` fans the sweep commands out across ``N`` worker processes
+(default: one per CPU; ``--jobs 1`` forces the serial path).  Results are
+identical either way — see docs/internals.md §9.
 """
 
 from __future__ import annotations
@@ -90,6 +95,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             pairs=pairs,
             instructions=args.instructions,
             checkpoint_path=args.resume,
+            jobs=args.jobs,
         )
         _report_sweep_outcome(outcome)
         labels = [pair_label(a, b) for a, b in pairs]
@@ -97,7 +103,9 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         if not results:
             return 1
     else:
-        results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+        results = spec_pair_sweep(
+            pairs=pairs, instructions=args.instructions, jobs=args.jobs
+        )
     print(render_table2(results, paper=PAPER_TABLE2_SPEC))
     summary = summarize_overheads(results)
     print(f"\ngeomean overhead {summary['geomean_overhead']:.4f} (paper 0.0113)")
@@ -119,7 +127,9 @@ def _report_sweep_outcome(outcome) -> None:
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
     pairs = SPEC_SAME_PAIRS[: args.pairs or 6]
-    results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+    results = spec_pair_sweep(
+        pairs=pairs, instructions=args.instructions, jobs=args.jobs
+    )
     print(render_mpki_table(results))
     return 0
 
@@ -127,7 +137,9 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 def _cmd_fig9(args: argparse.Namespace) -> int:
     benchmarks = PARSEC_BENCHMARKS[: args.pairs or None]
     results = parsec_sweep(
-        benchmarks=benchmarks, instructions_per_thread=args.instructions
+        benchmarks=benchmarks,
+        instructions_per_thread=args.instructions,
+        jobs=args.jobs,
     )
     print(render_table2(results, paper=PAPER_TABLE2_PARSEC))
     print()
@@ -138,7 +150,10 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
 def _cmd_fig10(args: argparse.Namespace) -> int:
     pairs = [("wrf", "wrf"), ("perlbench", "perlbench"), ("milc", "milc")]
     sweep = llc_sensitivity_sweep(
-        pairs=pairs, llc_sizes_kib=(32, 64, 128), instructions=args.instructions
+        pairs=pairs,
+        llc_sizes_kib=(32, 64, 128),
+        instructions=args.instructions,
+        jobs=args.jobs,
     )
     series = [
         (f"{kib}KiB", geometric_mean([r.normalized_time for r in results]))
@@ -162,7 +177,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from repro.analysis.export import export_sweep
+    from repro.analysis.export import export_outcome, export_sweep
 
     pairs = (SPEC_SAME_PAIRS + SPEC_MIXED_PAIRS)[: args.pairs or 4]
     if args.resume:
@@ -173,13 +188,16 @@ def _cmd_export(args: argparse.Namespace) -> int:
             pairs=pairs,
             instructions=args.instructions,
             checkpoint_path=args.resume,
+            jobs=args.jobs,
         )
         _report_sweep_outcome(outcome)
-        results = outcome.ordered_results(
-            [pair_label(a, b) for a, b in pairs]
-        )
-    else:
-        results = spec_pair_sweep(pairs=pairs, instructions=args.instructions)
+        labels = [pair_label(a, b) for a, b in pairs]
+        path = export_outcome(outcome, labels, args.output)
+        print(f"wrote {len(outcome.results)} results to {path}")
+        return 0
+    results = spec_pair_sweep(
+        pairs=pairs, instructions=args.instructions, jobs=args.jobs
+    )
     path = export_sweep(results, args.output)
     print(f"wrote {len(results)} results to {path}")
     return 0
@@ -199,6 +217,37 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if matrix.silent_total else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import bench
+
+    results = bench.run_benchmarks(
+        names=args.only or None, quick=args.quick, jobs=args.jobs
+    )
+    paths = bench.write_results(results, args.output_dir)
+    print(bench.render_results(results))
+    for path in paths:
+        print(f"wrote {path}")
+    if args.write_baseline:
+        print(f"wrote baseline {bench.write_baseline(results, args.write_baseline)}")
+    if args.baseline:
+        baseline = bench.load_baseline(args.baseline)
+        regressions = bench.compare_to_baseline(
+            results, baseline, threshold=args.threshold
+        )
+        if regressions:
+            for message in regressions:
+                print(f"REGRESSION {message}")
+            if not args.warn_only:
+                return 1
+            print("(warn-only: not failing)")
+        else:
+            print(
+                f"no regression vs {args.baseline} "
+                f"(threshold {args.threshold:.0%})"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -211,6 +260,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="instructions per simulated process/thread",
     )
     parser.add_argument("--seed", type=int, default=7)
+    # Shared by every sweep-shaped command (anything embarrassingly
+    # parallel); micro/rsa/compare/faults run single simulations.
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: one per CPU; "
+        "1 = the exact serial path)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("micro", help="Section VI-A1 microbenchmark")
     sub.add_parser("rsa", help="Section VI-A2 RSA key extraction")
@@ -220,7 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig9", "Figure 9 PARSEC sweep"),
         ("fig10", "Figure 10 LLC sensitivity"),
     ):
-        p = sub.add_parser(name, help=help_text)
+        p = sub.add_parser(name, help=help_text, parents=[jobs_parent])
         p.add_argument(
             "--pairs", type=int, default=0, help="limit the workload count"
         )
@@ -236,7 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="TimeCache vs partitioning on one pair"
     )
     compare.add_argument("--bench", default="perlbench")
-    export = sub.add_parser("export", help="run a sweep, write JSON results")
+    export = sub.add_parser(
+        "export", help="run a sweep, write JSON results", parents=[jobs_parent]
+    )
     export.add_argument("--output", default="results.json")
     export.add_argument("--pairs", type=int, default=0)
     export.add_argument(
@@ -260,6 +321,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI smoke mode: 3 injections per model",
     )
+    bench = sub.add_parser(
+        "bench",
+        help="perf benchmark harness, writes BENCH_<name>.json",
+        parents=[jobs_parent],
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="smaller workloads, fewer runs"
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run just this benchmark (repeatable)",
+    )
+    bench.add_argument(
+        "--output-dir", default=".", help="where BENCH_<name>.json files go"
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="BASELINE.json",
+        default=None,
+        help="compare against this committed baseline; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative slowdown that counts as a regression (default 0.20)",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (for alien/noisy CI hardware)",
+    )
+    bench.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="also write the results as a new baseline file",
+    )
     return parser
 
 
@@ -273,6 +374,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "export": _cmd_export,
     "faults": _cmd_faults,
+    "bench": _cmd_bench,
 }
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Sequence, Union
 
 from repro.analysis.comparison import DefenseComparison
 from repro.analysis.experiment import ExperimentResult, LevelMpki, SingleRun
+from repro.robustness.resilience import SweepOutcome
 
 SCHEMA_VERSION = 1
 
@@ -97,6 +98,35 @@ def sweep_to_dict(
         "kind": kind,
         "results": [result_to_dict(r) for r in results],
     }
+
+
+def outcome_to_dict(
+    outcome: SweepOutcome,
+    labels: Sequence[str],
+    kind: str = "spec_sweep",
+) -> Dict:
+    """Serialize a resilient sweep outcome: results in ``labels`` order
+    plus the failure records and resumed labels.
+
+    The payload is a superset of :func:`sweep_to_dict`'s, so existing
+    loaders keep working; because results are reassembled in label order
+    the bytes are identical whether the sweep ran serially or across a
+    process pool.
+    """
+    payload = sweep_to_dict(outcome.ordered_results(labels), kind=kind)
+    payload["failures"] = [f.to_dict() for f in outcome.failures]
+    payload["resumed"] = sorted(outcome.resumed)
+    return payload
+
+
+def export_outcome(
+    outcome: SweepOutcome,
+    labels: Sequence[str],
+    path: Union[str, Path],
+    kind: str = "spec_sweep",
+) -> Path:
+    """One-call export of a resilient sweep outcome."""
+    return save_json(outcome_to_dict(outcome, labels, kind=kind), path)
 
 
 def comparison_to_dict(comparison: DefenseComparison) -> Dict:

@@ -4,6 +4,14 @@ Each function regenerates one of the paper's artifacts end to end and
 returns structured results; the benchmark files print them with the
 :mod:`repro.analysis.tables` renderers and assert the paper's *shape*
 claims (who wins, orderings, trends).
+
+Every sweep takes ``jobs``: ``1`` (the default) runs the exact serial
+path, any other value fans the independent simulation cells out across
+a process pool via :class:`repro.analysis.parallel.ParallelSweepExecutor`
+(``None`` means one worker per CPU).  Serial and parallel runs of the
+same sweep produce identical results — each cell is a deterministic
+function of its arguments — which `tests/analysis/test_parallel.py`
+locks in byte-for-byte on the exported tables and checkpoints.
 """
 
 from __future__ import annotations
@@ -12,11 +20,14 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.experiment import (
+    ExperimentJob,
     ExperimentResult,
     SimulationBudget,
+    run_experiment_job,
     run_parsec_experiment,
     run_spec_pair_experiment,
 )
+from repro.analysis.parallel import ParallelSweepExecutor, SweepJob
 from repro.common.config import SimConfig, scaled_experiment_config
 from repro.robustness.resilience import (
     Checkpoint,
@@ -27,7 +38,56 @@ from repro.workloads.mixes import (
     PARSEC_BENCHMARKS,
     SPEC_MIXED_PAIRS,
     SPEC_SAME_PAIRS,
+    pair_label,
 )
+
+
+def _spec_pair_jobs(
+    config: SimConfig,
+    pairs: Sequence[Tuple[str, str]],
+    instructions: int,
+    seed: int,
+    budget: Optional[SimulationBudget] = None,
+    label_prefix: str = "",
+) -> List[SweepJob]:
+    """Picklable job list for a SPEC pair sweep (one cell per pair)."""
+    jobs: List[SweepJob] = []
+    for a, b in pairs:
+        label = label_prefix + pair_label(a, b)
+        spec = ExperimentJob(
+            kind="spec_pair",
+            label=label,
+            config=config,
+            args=(a, b),
+            kwargs={"instructions": instructions, "seed": seed, "budget": budget},
+        )
+        jobs.append(SweepJob(label=label, fn=run_experiment_job, args=(spec,)))
+    return jobs
+
+
+def _parsec_jobs(
+    config: SimConfig,
+    benchmarks: Sequence[str],
+    instructions_per_thread: int,
+    seed: int,
+    budget: Optional[SimulationBudget] = None,
+) -> List[SweepJob]:
+    """Picklable job list for a PARSEC sweep (one cell per benchmark)."""
+    jobs: List[SweepJob] = []
+    for bench in benchmarks:
+        spec = ExperimentJob(
+            kind="parsec",
+            label=bench,
+            config=config,
+            args=(bench,),
+            kwargs={
+                "instructions_per_thread": instructions_per_thread,
+                "seed": seed,
+                "budget": budget,
+            },
+        )
+        jobs.append(SweepJob(label=bench, fn=run_experiment_job, args=(spec,)))
+    return jobs
 
 
 def spec_pair_sweep(
@@ -35,13 +95,20 @@ def spec_pair_sweep(
     instructions: int = 120_000,
     llc_kib: int = 128,
     seed: int = 0xBEEF,
+    jobs: Optional[int] = 1,
 ) -> List[ExperimentResult]:
     """The Table II / Figure 7 / Figure 8 sweep (single core, pairs)."""
     config = scaled_experiment_config(num_cores=1, llc_kib=llc_kib, seed=seed)
-    return [
-        run_spec_pair_experiment(config, a, b, instructions=instructions, seed=seed)
-        for a, b in pairs
-    ]
+    if jobs == 1:
+        return [
+            run_spec_pair_experiment(
+                config, a, b, instructions=instructions, seed=seed
+            )
+            for a, b in pairs
+        ]
+    executor = ParallelSweepExecutor(jobs, retries=0, base_seed=seed)
+    results = executor.map(_spec_pair_jobs(config, pairs, instructions, seed))
+    return list(results)  # type: ignore[arg-type]
 
 
 def parsec_sweep(
@@ -49,15 +116,22 @@ def parsec_sweep(
     instructions_per_thread: int = 1_000_000,
     llc_kib: int = 128,
     seed: int = 0xFACE,
+    jobs: Optional[int] = 1,
 ) -> List[ExperimentResult]:
     """The Figure 9 / Table II PARSEC sweep (2 threads on 2 cores)."""
     config = scaled_experiment_config(num_cores=2, llc_kib=llc_kib, seed=seed)
-    return [
-        run_parsec_experiment(
-            config, b, instructions_per_thread=instructions_per_thread, seed=seed
-        )
-        for b in benchmarks
-    ]
+    if jobs == 1:
+        return [
+            run_parsec_experiment(
+                config, b, instructions_per_thread=instructions_per_thread, seed=seed
+            )
+            for b in benchmarks
+        ]
+    executor = ParallelSweepExecutor(jobs, retries=0, base_seed=seed)
+    results = executor.map(
+        _parsec_jobs(config, benchmarks, instructions_per_thread, seed)
+    )
+    return list(results)  # type: ignore[arg-type]
 
 
 def llc_sensitivity_sweep(
@@ -65,22 +139,41 @@ def llc_sensitivity_sweep(
     llc_sizes_kib: Sequence[int] = (128, 256, 512),
     instructions: int = 120_000,
     seed: int = 0xBEEF,
+    jobs: Optional[int] = 1,
 ) -> Dict[int, List[ExperimentResult]]:
     """The Figure 10 sweep: the same pairs at growing LLC sizes.
 
     The paper's 2/4/8 MB sweep maps to 128/256/512 KiB at the model's
     16x scale factor; the claim under test is the monotone shrink of the
-    mean overhead with LLC size.
+    mean overhead with LLC size.  With ``jobs != 1`` every (size, pair)
+    cell runs concurrently — the whole grid is one flat job list.
     """
     results: Dict[int, List[ExperimentResult]] = {}
+    if jobs == 1:
+        for llc_kib in llc_sizes_kib:
+            config = scaled_experiment_config(
+                num_cores=1, llc_kib=llc_kib, seed=seed
+            )
+            results[llc_kib] = [
+                run_spec_pair_experiment(
+                    config, a, b, instructions=instructions, seed=seed
+                )
+                for a, b in pairs
+            ]
+        return results
+    all_jobs: List[SweepJob] = []
     for llc_kib in llc_sizes_kib:
         config = scaled_experiment_config(num_cores=1, llc_kib=llc_kib, seed=seed)
-        results[llc_kib] = [
-            run_spec_pair_experiment(
-                config, a, b, instructions=instructions, seed=seed
+        all_jobs.extend(
+            _spec_pair_jobs(
+                config, pairs, instructions, seed, label_prefix=f"{llc_kib}KiB/"
             )
-            for a, b in pairs
-        ]
+        )
+    executor = ParallelSweepExecutor(jobs, retries=0, base_seed=seed)
+    flat = executor.map(all_jobs)
+    per_size = len(pairs)
+    for i, llc_kib in enumerate(llc_sizes_kib):
+        results[llc_kib] = list(flat[i * per_size : (i + 1) * per_size])  # type: ignore[arg-type]
     return results
 
 
@@ -105,30 +198,42 @@ def resilient_spec_pair_sweep(
     checkpoint_path: Optional[Union[str, Path]] = None,
     retries: int = 2,
     backoff_s: float = 0.5,
+    jobs: Optional[int] = 1,
 ) -> SweepOutcome:
     """:func:`spec_pair_sweep` under the resilient runner.
 
     A pair that crashes or exceeds ``budget`` is retried with backoff and
     ultimately becomes a ``FailureRecord`` instead of sinking the sweep;
     ``checkpoint_path`` enables resume — completed pairs are loaded, not
-    re-simulated, and previously failed pairs get a fresh chance.
+    re-simulated, and previously failed pairs get a fresh chance.  With
+    ``jobs != 1`` the pairs run across a process pool with identical
+    retry/checkpoint/resume semantics (see
+    :class:`~repro.analysis.parallel.ParallelSweepExecutor`).
     """
-    from repro.workloads.mixes import pair_label
-
     config = scaled_experiment_config(num_cores=1, llc_kib=llc_kib, seed=seed)
 
-    def job(a: str, b: str):
-        return lambda: run_spec_pair_experiment(
-            config, a, b, instructions=instructions, seed=seed, budget=budget
-        )
+    if jobs == 1:
 
-    jobs = [(pair_label(a, b), job(a, b)) for a, b in pairs]
-    return run_resilient_jobs(
+        def job(a: str, b: str):
+            return lambda: run_spec_pair_experiment(
+                config, a, b, instructions=instructions, seed=seed, budget=budget
+            )
+
+        serial_jobs = [(pair_label(a, b), job(a, b)) for a, b in pairs]
+        return run_resilient_jobs(
+            serial_jobs,
+            retries=retries,
+            backoff_s=backoff_s,
+            checkpoint=_result_checkpoint(checkpoint_path),
+        )
+    executor = ParallelSweepExecutor(
         jobs,
         retries=retries,
         backoff_s=backoff_s,
         checkpoint=_result_checkpoint(checkpoint_path),
+        base_seed=seed,
     )
+    return executor.run(_spec_pair_jobs(config, pairs, instructions, seed, budget))
 
 
 def resilient_parsec_sweep(
@@ -140,26 +245,39 @@ def resilient_parsec_sweep(
     checkpoint_path: Optional[Union[str, Path]] = None,
     retries: int = 2,
     backoff_s: float = 0.5,
+    jobs: Optional[int] = 1,
 ) -> SweepOutcome:
     """:func:`parsec_sweep` under the resilient runner (see
     :func:`resilient_spec_pair_sweep` for the failure semantics)."""
     config = scaled_experiment_config(num_cores=2, llc_kib=llc_kib, seed=seed)
 
-    def job(bench: str):
-        return lambda: run_parsec_experiment(
-            config,
-            bench,
-            instructions_per_thread=instructions_per_thread,
-            seed=seed,
-            budget=budget,
-        )
+    if jobs == 1:
 
-    jobs = [(bench, job(bench)) for bench in benchmarks]
-    return run_resilient_jobs(
+        def job(bench: str):
+            return lambda: run_parsec_experiment(
+                config,
+                bench,
+                instructions_per_thread=instructions_per_thread,
+                seed=seed,
+                budget=budget,
+            )
+
+        serial_jobs = [(bench, job(bench)) for bench in benchmarks]
+        return run_resilient_jobs(
+            serial_jobs,
+            retries=retries,
+            backoff_s=backoff_s,
+            checkpoint=_result_checkpoint(checkpoint_path),
+        )
+    executor = ParallelSweepExecutor(
         jobs,
         retries=retries,
         backoff_s=backoff_s,
         checkpoint=_result_checkpoint(checkpoint_path),
+        base_seed=seed,
+    )
+    return executor.run(
+        _parsec_jobs(config, benchmarks, instructions_per_thread, seed, budget)
     )
 
 

@@ -53,6 +53,15 @@ class SimulationTimeout(ReproError):
     """A simulation exceeded its wall-clock or instruction budget."""
 
 
+class SweepExecutionError(ReproError):
+    """A non-resilient parallel sweep had at least one failed job.
+
+    Raised by :meth:`repro.analysis.parallel.ParallelSweepExecutor.map`
+    after every job has finished, so one bad cell cannot abort its
+    siblings mid-flight; the message names the first failure.
+    """
+
+
 class FaultInjectionError(ReproError):
     """The fault injector itself was misused or could not inject."""
 

@@ -211,6 +211,36 @@ def run_single_injection(
     )
 
 
+def run_injection_uncaught(model_name: str, seed: int) -> str:
+    """One injection run that lets :class:`InvariantViolation` escape.
+
+    Picklable, module-level, and deliberately *not* wrapped in the
+    detected/benign classification: the parallel-executor tests ship it
+    into a pool worker to prove a violation raised in a child process
+    comes back as a recorded failure rather than being swallowed.
+    Returns ``"clean"`` when the drive and final audit pass.
+    """
+    by_name = {cls.name: cls for cls in ALL_FAULT_MODELS}
+    try:
+        model_cls = by_name[model_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {model_name!r}; known: {sorted(by_name)}"
+        ) from None
+    rng = DeterministicRng(seed)
+    system = TimeCacheSystem(campaign_config(seed=seed))
+    FaultInjector(
+        system,
+        model_cls(),
+        rng.fork("fault"),
+        at_switch=rng.fork("trigger").randint(2, ROUNDS - 2),
+    ).attach()
+    checker = InvariantChecker(system).attach()
+    _drive(system, rng.fork("drive"))
+    checker.scan_all()
+    return "clean"
+
+
 def run_fault_campaign(
     per_model: int = 30, seed: int = 0xFA017
 ) -> DetectionMatrix:

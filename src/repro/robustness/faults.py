@@ -25,7 +25,7 @@ preemption time, corrupted Tc) must be caught by the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

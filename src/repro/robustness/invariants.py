@@ -47,7 +47,7 @@ driver.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.common.errors import ConfigError, InvariantViolation
 from repro.core.timecache import TimeCacheSystem

@@ -1,0 +1,184 @@
+"""The perf benchmark harness: output files, baseline gate, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BENCHMARKS,
+    BenchResult,
+    compare_to_baseline,
+    load_baseline,
+    machine_metadata,
+    run_benchmarks,
+    write_baseline,
+    write_results,
+)
+from repro.analysis.cli import main
+
+
+def _fake_results():
+    return {
+        "single_config": BenchResult("single_config", runs=[0.5, 0.4, 0.6]),
+        "comparator": BenchResult("comparator", runs=[0.010]),
+    }
+
+
+class TestComparisonLogic:
+    def test_regression_over_threshold_fails(self):
+        results = _fake_results()
+        baseline = {"single_config": 0.3, "comparator": 0.009}
+        regressions = compare_to_baseline(results, baseline, threshold=0.20)
+        # 0.5 vs 0.3 is a 1.67x slowdown; 0.010 vs 0.009 is within 20%.
+        assert len(regressions) == 1
+        assert "single_config" in regressions[0]
+
+    def test_within_threshold_passes(self):
+        results = _fake_results()
+        baseline = {"single_config": 0.45, "comparator": 0.010}
+        assert compare_to_baseline(results, baseline, threshold=0.20) == []
+
+    def test_benches_missing_from_baseline_are_ignored(self):
+        results = _fake_results()
+        assert compare_to_baseline(results, {}, threshold=0.20) == []
+
+    def test_boundary_is_strictly_greater(self):
+        results = {"x": BenchResult("x", runs=[1.2])}
+        assert compare_to_baseline(results, {"x": 1.0}, threshold=0.20) == []
+        results = {"x": BenchResult("x", runs=[1.21])}
+        assert compare_to_baseline(results, {"x": 1.0}, threshold=0.20)
+
+    def test_baseline_roundtrip(self, tmp_path):
+        path = write_baseline(_fake_results(), tmp_path / "BASELINE.json")
+        baseline = load_baseline(path)
+        assert baseline["single_config"] == pytest.approx(0.5)
+        assert baseline["comparator"] == pytest.approx(0.010)
+
+    def test_load_rejects_non_baseline_files(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(ValueError, match="not a bench baseline"):
+            load_baseline(bogus)
+
+
+class TestOutputFiles:
+    def test_write_results_one_file_per_bench(self, tmp_path):
+        paths = write_results(_fake_results(), tmp_path)
+        names = sorted(p.name for p in paths)
+        assert names == ["BENCH_comparator.json", "BENCH_single_config.json"]
+        payload = json.loads((tmp_path / "BENCH_single_config.json").read_text())
+        assert payload["name"] == "single_config"
+        assert payload["median_s"] == pytest.approx(0.5)
+        assert payload["runs"] == [0.5, 0.4, 0.6]
+        assert payload["meta"]["cpu_count"] >= 1
+        assert payload["meta"]["python"]
+
+    def test_machine_metadata_fields(self):
+        meta = machine_metadata()
+        for key in ("python", "platform", "machine", "cpu_count", "taken_at"):
+            assert key in meta
+
+    def test_registry_covers_required_workloads(self):
+        assert set(BENCHMARKS) >= {
+            "single_config",
+            "comparator",
+            "hierarchy_access",
+            "sweep_parallel",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_benchmarks(names=["nope"])
+
+
+class TestRealWorkloads:
+    def test_comparator_bench_runs(self):
+        result = run_benchmarks(names=["comparator"], quick=True)["comparator"]
+        assert result.median_s > 0
+        # the vectorized path must beat the gate-level scan decisively
+        assert result.extra["fast_speedup"] > 1.0
+
+    def test_sweep_parallel_bench_records_speedup(self):
+        result = run_benchmarks(
+            names=["sweep_parallel"], quick=True, jobs=2
+        )["sweep_parallel"]
+        assert result.extra["jobs"] == 2.0
+        assert result.extra["serial_median_s"] > 0
+        assert result.extra["parallel_median_s"] > 0
+        assert result.extra["speedup"] > 0
+
+
+class TestBenchCli:
+    def test_bench_writes_files_and_succeeds(self, tmp_path, capsys):
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--only",
+                "comparator",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "BENCH_comparator.json").exists()
+        assert "comparator" in capsys.readouterr().out
+
+    def test_bench_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "BASELINE.json"
+        write_baseline(
+            {"comparator": BenchResult("comparator", runs=[1e-12])}, baseline
+        )
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--only",
+                "comparator",
+                "--output-dir",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_warn_only_downgrades_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "BASELINE.json"
+        write_baseline(
+            {"comparator": BenchResult("comparator", runs=[1e-12])}, baseline
+        )
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--only",
+                "comparator",
+                "--output-dir",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--warn-only",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "warn-only" in out
+
+    def test_write_baseline_flag(self, tmp_path):
+        target = tmp_path / "NEW_BASELINE.json"
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--only",
+                "comparator",
+                "--output-dir",
+                str(tmp_path),
+                "--write-baseline",
+                str(target),
+            ]
+        )
+        assert rc == 0
+        assert "comparator" in load_baseline(target)

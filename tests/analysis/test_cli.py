@@ -63,3 +63,59 @@ def test_export_command(tmp_path, capsys):
 
     payload = load_json(target)
     assert summarize_json(payload)["count"] == 1
+
+
+def test_table2_with_explicit_jobs(capsys):
+    """--jobs 2 runs the sweep through the process pool; same output."""
+    assert (
+        main(["--instructions", "6000", "table2", "--pairs", "2", "--jobs", "2"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2Xspecrand" in out
+    assert "geomean" in out
+
+
+def test_jobs_accepted_by_sweep_and_bench_commands():
+    parser = build_parser()
+    for argv in (
+        ["table2", "--jobs", "4"],
+        ["fig9", "--jobs", "1"],
+        ["export", "--jobs", "2"],
+        ["bench", "--quick", "--jobs", "2"],
+    ):
+        args = parser.parse_args(argv)
+        assert args.jobs == int(argv[-1])
+    # single-simulation commands deliberately have no --jobs
+    import pytest
+
+    with pytest.raises(SystemExit):
+        parser.parse_args(["micro", "--jobs", "2"])
+
+
+def test_export_resume_with_jobs_writes_outcome(tmp_path):
+    target = str(tmp_path / "out.json")
+    checkpoint = str(tmp_path / "ck.json")
+    assert (
+        main(
+            [
+                "--instructions",
+                "4000",
+                "export",
+                "--output",
+                target,
+                "--pairs",
+                "1",
+                "--resume",
+                checkpoint,
+                "--jobs",
+                "2",
+            ]
+        )
+        == 0
+    )
+    from repro.analysis.export import load_json
+
+    payload = load_json(target)
+    assert len(payload["results"]) == 1
+    assert payload["failures"] == []

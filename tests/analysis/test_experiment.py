@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.experiment import (
-    ExperimentResult,
     run_parsec_experiment,
     run_spec_pair_experiment,
 )

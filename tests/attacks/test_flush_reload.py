@@ -4,8 +4,6 @@ The paper's success criterion: the baseline attacker observes hits (a
 fully leaking channel), the defended attacker observes zero.
 """
 
-import pytest
-
 from repro.attacks.flush_reload import (
     run_microbenchmark_attack,
     run_spy_flush_reload,

@@ -116,7 +116,6 @@ def test_streaming_parser():
 def test_recorded_workload_replays_identically(tmp_path):
     """A workload trace saved and replayed drives the simulator to the
     exact same state as the original generator."""
-    from repro.core.timecache import TimeCacheSystem
     from repro.os.kernel import Kernel
     from repro.workloads.generator import WorkloadBuilder
     from repro.workloads.profiles import spec_profile

@@ -7,7 +7,6 @@ An independent shadow tracker re-derives who has "paid" per (cache, slot)
 from the observable event stream and checks every access against it.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.errors import SimulationError
 from repro.core.timecache import TimeCacheSystem
-from repro.memsys.hierarchy import AccessKind
 
 from tests.conftest import tiny_config
 

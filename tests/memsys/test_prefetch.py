@@ -7,8 +7,6 @@ grants another context an unpaid hit.
 
 import dataclasses
 
-import pytest
-
 from repro.core.timecache import TimeCacheSystem
 
 from tests.conftest import tiny_config

@@ -1,7 +1,5 @@
 """Integration tests for the kernel: dispatch, quanta, switches, sleep."""
 
-import pytest
-
 from repro.cpu.isa import Compute, Exit, Load, SleepOp, Store, YieldOp
 from repro.cpu.program import Program
 from repro.os.kernel import Kernel

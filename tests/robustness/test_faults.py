@@ -90,7 +90,7 @@ class TestModels:
 
     def test_dropped_clear_filter_self_disarms(self):
         system = _fresh(seed=23)
-        injector = FaultInjector(
+        FaultInjector(
             system, DroppedComparatorClear(), DeterministicRng(23), at_switch=2
         ).attach()
         _drive(system, DeterministicRng(23), rounds=6)

@@ -1,6 +1,5 @@
 """The invariant checker: silent on healthy runs, loud on corruption."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError, InvariantViolation
@@ -109,7 +108,6 @@ def test_eviction_with_surviving_sbits_detected(checked):
     system, checker = checked
     system.load(0, 0x1000, now=10)
     l1d = system.hierarchy.l1d[0]
-    pos = l1d.lookup(system.hierarchy.line_addr(0x1000))
     # Sabotage the eviction path: make clearing impossible to observe by
     # restoring the bit inside the event. Simpler: invalidate while the
     # notification hook checks the post-state, so force bits back first.

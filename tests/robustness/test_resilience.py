@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.analysis.experiment import SimulationBudget
-from repro.analysis.export import result_from_dict, result_to_dict
 from repro.analysis.runner import resilient_spec_pair_sweep
 from repro.common.errors import SimulationTimeout
 from repro.robustness.resilience import (
