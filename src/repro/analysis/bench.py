@@ -14,6 +14,14 @@ watch.  The workloads:
 * ``sweep_parallel``    — a small SPEC pair sweep at ``--jobs 1`` vs
   ``--jobs N``, recording the process-pool speedup.
 
+The engine-shaped workloads (``single_config``, ``hierarchy_access``,
+``sweep_parallel``) accept ``engine="object"|"fast"`` and, under the
+fast engine, record under a ``_fast``-suffixed name so a baseline file
+holds one entry per engine.  A workload can also *decline* to produce a
+number — ``sweep_parallel`` on a single-CPU machine reports
+``skipped: insufficient_cpus`` instead of a meaningless median — and
+skipped entries are ignored on both sides of the baseline comparison.
+
 Comparison mode (``--baseline PATH``) loads a committed baseline (see
 ``benchmarks/perf/BASELINE.json``) and *fails* — returns regressions —
 when any shared workload's median exceeds the baseline by more than
@@ -37,19 +45,27 @@ import numpy as np
 BENCH_SCHEMA = 1
 #: relative slowdown vs baseline that counts as a regression
 DEFAULT_THRESHOLD = 0.20
+#: workloads that take an ``engine=`` keyword and get a ``_fast`` suffix
+ENGINE_AWARE = ("single_config", "hierarchy_access", "sweep_parallel")
 
 
 @dataclass
 class BenchResult:
-    """Timing for one benchmark workload."""
+    """Timing for one benchmark workload.
+
+    ``skipped`` holds a machine-readable reason when the workload could
+    not produce a meaningful number on this host (``runs`` is empty and
+    ``median_s`` reads 0.0); baseline comparison ignores such entries.
+    """
 
     name: str
     runs: List[float]
     extra: Dict[str, float] = field(default_factory=dict)
+    skipped: Optional[str] = None
 
     @property
     def median_s(self) -> float:
-        return statistics.median(self.runs)
+        return statistics.median(self.runs) if self.runs else 0.0
 
     def to_dict(self, meta: Optional[Mapping] = None) -> Dict:
         payload: Dict = {
@@ -60,6 +76,8 @@ class BenchResult:
             "runs": list(self.runs),
             "extra": dict(self.extra),
         }
+        if self.skipped:
+            payload["skipped"] = self.skipped
         if meta is not None:
             payload["meta"] = dict(meta)
         return payload
@@ -91,13 +109,15 @@ def _time_runs(fn: Callable[[], object], repeats: int) -> List[float]:
 # workloads
 
 
-def bench_single_config(quick: bool = False) -> BenchResult:
+def bench_single_config(quick: bool = False, engine: str = "object") -> BenchResult:
     """One SPEC pair experiment — the unit of work every sweep repeats."""
     from repro.analysis.experiment import run_spec_pair_experiment
     from repro.common.config import scaled_experiment_config
 
     instructions = 4_000 if quick else 40_000
-    config = scaled_experiment_config(num_cores=1, llc_kib=32, seed=0xBEEF)
+    config = scaled_experiment_config(
+        num_cores=1, llc_kib=32, seed=0xBEEF, engine=engine
+    )
     runs = _time_runs(
         lambda: run_spec_pair_experiment(
             config, "wrf", "wrf", instructions=instructions, seed=0xBEEF
@@ -148,25 +168,39 @@ def bench_comparator(quick: bool = False) -> BenchResult:
     )
 
 
-def bench_hierarchy_access(quick: bool = False) -> BenchResult:
+def bench_hierarchy_access(
+    quick: bool = False, engine: str = "object"
+) -> BenchResult:
     """Raw access throughput through the modeled hierarchy."""
+    import dataclasses
+
     from repro.common.rng import DeterministicRng
     from repro.core.timecache import TimeCacheSystem
     from repro.memsys.hierarchy import AccessKind
     from repro.robustness.campaign import campaign_config
 
     accesses = 20_000 if quick else 100_000
-    system = TimeCacheSystem(campaign_config(seed=7))
+    config = campaign_config(seed=7)
+    if engine != config.hierarchy.engine:
+        config = dataclasses.replace(
+            config,
+            hierarchy=dataclasses.replace(config.hierarchy, engine=engine),
+        )
+    system = TimeCacheSystem(config)
     line_bytes = system.config.hierarchy.line_bytes
     rng = DeterministicRng(7)
     pool = [0x10000 + i * line_bytes for i in range(256)]
     addrs = [rng.choice(pool) for _ in range(accesses)]
+    # Drive the hierarchy entry point directly so the measurement is the
+    # per-access engine path, not the facade's clock bookkeeping.
+    access = system.hierarchy.access
+    load = AccessKind.LOAD
 
     def drive() -> None:
         now = 0
         for addr in addrs:
-            result = system.access(0, addr, AccessKind.LOAD, now=now)
-            now += max(1, result.latency)
+            latency = access(0, addr, load, now).latency
+            now += latency if latency > 0 else 1
 
     runs = _time_runs(drive, repeats=3 if quick else 5)
     return BenchResult(
@@ -180,29 +214,42 @@ def bench_hierarchy_access(quick: bool = False) -> BenchResult:
 
 
 def bench_sweep_parallel(
-    quick: bool = False, jobs: Optional[int] = None
+    quick: bool = False, jobs: Optional[int] = None, engine: str = "object"
 ) -> BenchResult:
     """A small SPEC pair sweep serially vs across the process pool.
 
     ``runs`` times the parallel sweep; ``extra`` records the serial
     median and the speedup — the number the tentpole exists to move.
+    On a single-CPU machine (or with one worker) a process pool cannot
+    beat the serial path, so the bench reports
+    ``skipped: insufficient_cpus`` rather than a meaningless speedup.
     """
     from repro.analysis.parallel import resolve_jobs
     from repro.analysis.runner import spec_pair_sweep
 
     workers = resolve_jobs(jobs)
+    cpus = os.cpu_count() or 1
+    if cpus < 2 or workers < 2:
+        return BenchResult(
+            name="sweep_parallel",
+            runs=[],
+            extra={"cpus": float(cpus), "jobs": float(workers)},
+            skipped="insufficient_cpus",
+        )
     pairs = [("wrf", "wrf"), ("milc", "milc"), ("perlbench", "perlbench"),
              ("gobmk", "gobmk")]
     instructions = 8_000 if quick else 40_000
     repeats = 1 if quick else 3
 
     serial_runs = _time_runs(
-        lambda: spec_pair_sweep(pairs=pairs, instructions=instructions, jobs=1),
+        lambda: spec_pair_sweep(
+            pairs=pairs, instructions=instructions, jobs=1, engine=engine
+        ),
         repeats,
     )
     parallel_runs = _time_runs(
         lambda: spec_pair_sweep(
-            pairs=pairs, instructions=instructions, jobs=workers
+            pairs=pairs, instructions=instructions, jobs=workers, engine=engine
         ),
         repeats,
     )
@@ -231,26 +278,80 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
 }
 
 
-def run_benchmarks(
-    names: Optional[Sequence[str]] = None,
-    quick: bool = False,
-    jobs: Optional[int] = None,
-) -> Dict[str, BenchResult]:
-    """Run the named workloads (all by default), in registry order."""
+def _validate_names(names: Optional[Sequence[str]]) -> List[str]:
     selected = list(BENCHMARKS) if not names else list(names)
     unknown = [n for n in selected if n not in BENCHMARKS]
     if unknown:
         raise ValueError(
             f"unknown benchmark(s) {unknown}; known: {sorted(BENCHMARKS)}"
         )
+    return selected
+
+
+def _bench_kwargs(name: str, quick: bool, jobs: Optional[int], engine: str) -> Dict:
+    kwargs: Dict = {"quick": quick}
+    if name == "sweep_parallel":
+        kwargs["jobs"] = jobs
+    if name in ENGINE_AWARE:
+        kwargs["engine"] = engine
+    return kwargs
+
+
+def _result_name(name: str, engine: str) -> str:
+    return f"{name}_fast" if engine == "fast" and name in ENGINE_AWARE else name
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    engine: str = "object",
+) -> Dict[str, BenchResult]:
+    """Run the named workloads (all by default), in registry order.
+
+    With ``engine="fast"`` the engine-aware workloads run against the
+    struct-of-arrays engine and record under ``<name>_fast`` so the two
+    engines keep separate baseline entries.
+    """
     results: Dict[str, BenchResult] = {}
-    for name in selected:
-        fn = BENCHMARKS[name]
-        if name == "sweep_parallel":
-            results[name] = fn(quick=quick, jobs=jobs)
-        else:
-            results[name] = fn(quick=quick)
+    for name in _validate_names(names):
+        result = BENCHMARKS[name](**_bench_kwargs(name, quick, jobs, engine))
+        result.name = _result_name(name, engine)
+        results[result.name] = result
     return results
+
+
+def profile_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    engine: str = "object",
+    output_dir: Union[str, Path] = ".",
+) -> List[Path]:
+    """Run each workload once under cProfile; write the stats dumps.
+
+    One ``BENCH_profile_<name>.pstats`` per workload, loadable with
+    ``python -m pstats`` or ``snakeviz`` — so hot-path work starts from
+    measurements instead of guesses.  Profiled runs are slower than
+    timed ones; they do not produce ``BenchResult`` timings.
+    """
+    import cProfile
+
+    out = Path(output_dir)
+    paths: List[Path] = []
+    for name in _validate_names(names):
+        fn = BENCHMARKS[name]
+        kwargs = _bench_kwargs(name, quick, jobs, engine)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            fn(**kwargs)
+        finally:
+            profiler.disable()
+        path = out / f"BENCH_profile_{_result_name(name, engine)}.pstats"
+        profiler.dump_stats(path)
+        paths.append(path)
+    return paths
 
 
 def write_results(
@@ -272,14 +373,20 @@ def write_results(
 # baseline comparison
 
 
+def _baseline_entry(result: BenchResult) -> Dict:
+    entry: Dict = {"median_s": result.median_s, "extra": dict(result.extra)}
+    if result.skipped:
+        entry["skipped"] = result.skipped
+    return entry
+
+
 def baseline_payload(results: Mapping[str, BenchResult]) -> Dict:
     return {
         "schema": BENCH_SCHEMA,
         "kind": "bench_baseline",
         "meta": machine_metadata(),
         "benches": {
-            name: {"median_s": result.median_s, "extra": dict(result.extra)}
-            for name, result in results.items()
+            name: _baseline_entry(result) for name, result in results.items()
         },
     }
 
@@ -294,7 +401,12 @@ def write_baseline(
 
 
 def load_baseline(path: Union[str, Path]) -> Dict[str, float]:
-    """Baseline medians keyed by bench name."""
+    """Baseline medians keyed by bench name.
+
+    Entries recorded as skipped (or with a zero median, which is what a
+    skipped bench serializes as) carry no timing information and are
+    dropped, so they can never anchor a regression comparison.
+    """
     import json
 
     with open(path) as handle:
@@ -304,6 +416,7 @@ def load_baseline(path: Union[str, Path]) -> Dict[str, float]:
     return {
         name: float(entry["median_s"])
         for name, entry in payload.get("benches", {}).items()
+        if not entry.get("skipped") and float(entry.get("median_s", 0.0)) > 0
     }
 
 
@@ -320,6 +433,8 @@ def compare_to_baseline(
     """
     regressions: List[str] = []
     for name, result in results.items():
+        if result.skipped:
+            continue
         base = baseline.get(name)
         if base is None or base <= 0:
             continue
@@ -336,6 +451,9 @@ def render_results(results: Mapping[str, BenchResult]) -> str:
     """One line per bench: median plus the most interesting extras."""
     lines = []
     for name, result in results.items():
+        if result.skipped:
+            lines.append(f"{name:<18} skipped ({result.skipped})")
+            continue
         extras = ""
         if "speedup" in result.extra:
             extras = f"  speedup {result.extra['speedup']:.2f}x"

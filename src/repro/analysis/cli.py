@@ -96,6 +96,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             instructions=args.instructions,
             checkpoint_path=args.resume,
             jobs=args.jobs,
+            engine=args.engine,
         )
         _report_sweep_outcome(outcome)
         labels = [pair_label(a, b) for a, b in pairs]
@@ -104,7 +105,10 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             return 1
     else:
         results = spec_pair_sweep(
-            pairs=pairs, instructions=args.instructions, jobs=args.jobs
+            pairs=pairs,
+            instructions=args.instructions,
+            jobs=args.jobs,
+            engine=args.engine,
         )
     print(render_table2(results, paper=PAPER_TABLE2_SPEC))
     summary = summarize_overheads(results)
@@ -128,7 +132,10 @@ def _report_sweep_outcome(outcome) -> None:
 def _cmd_fig8(args: argparse.Namespace) -> int:
     pairs = SPEC_SAME_PAIRS[: args.pairs or 6]
     results = spec_pair_sweep(
-        pairs=pairs, instructions=args.instructions, jobs=args.jobs
+        pairs=pairs,
+        instructions=args.instructions,
+        jobs=args.jobs,
+        engine=args.engine,
     )
     print(render_mpki_table(results))
     return 0
@@ -140,6 +147,7 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
         benchmarks=benchmarks,
         instructions_per_thread=args.instructions,
         jobs=args.jobs,
+        engine=args.engine,
     )
     print(render_table2(results, paper=PAPER_TABLE2_PARSEC))
     print()
@@ -154,6 +162,7 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
         llc_sizes_kib=(32, 64, 128),
         instructions=args.instructions,
         jobs=args.jobs,
+        engine=args.engine,
     )
     series = [
         (f"{kib}KiB", geometric_mean([r.normalized_time for r in results]))
@@ -189,6 +198,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
             instructions=args.instructions,
             checkpoint_path=args.resume,
             jobs=args.jobs,
+            engine=args.engine,
         )
         _report_sweep_outcome(outcome)
         labels = [pair_label(a, b) for a, b in pairs]
@@ -196,7 +206,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
         print(f"wrote {len(outcome.results)} results to {path}")
         return 0
     results = spec_pair_sweep(
-        pairs=pairs, instructions=args.instructions, jobs=args.jobs
+        pairs=pairs,
+        instructions=args.instructions,
+        jobs=args.jobs,
+        engine=args.engine,
     )
     path = export_sweep(results, args.output)
     print(f"wrote {len(results)} results to {path}")
@@ -220,8 +233,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis import bench
 
+    if args.profile:
+        paths = bench.profile_benchmarks(
+            names=args.only or None,
+            quick=args.quick,
+            jobs=args.jobs,
+            engine=args.engine,
+            output_dir=args.output_dir,
+        )
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
     results = bench.run_benchmarks(
-        names=args.only or None, quick=args.quick, jobs=args.jobs
+        names=args.only or None,
+        quick=args.quick,
+        jobs=args.jobs,
+        engine=args.engine,
     )
     paths = bench.write_results(results, args.output_dir)
     print(bench.render_results(results))
@@ -269,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the sweep (default: one per CPU; "
         "1 = the exact serial path)",
+    )
+    jobs_parent.add_argument(
+        "--engine",
+        choices=("object", "fast"),
+        default="object",
+        help="simulation engine: 'object' is the reference model, 'fast' "
+        "the struct-of-arrays engine (identical results, ~5x throughput)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("micro", help="Section VI-A1 microbenchmark")
@@ -360,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the results as a new baseline file",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each workload under cProfile and write "
+        "BENCH_profile_<name>.pstats instead of timing it",
     )
     return parser
 

@@ -96,9 +96,12 @@ def spec_pair_sweep(
     llc_kib: int = 128,
     seed: int = 0xBEEF,
     jobs: Optional[int] = 1,
+    engine: str = "object",
 ) -> List[ExperimentResult]:
     """The Table II / Figure 7 / Figure 8 sweep (single core, pairs)."""
-    config = scaled_experiment_config(num_cores=1, llc_kib=llc_kib, seed=seed)
+    config = scaled_experiment_config(
+        num_cores=1, llc_kib=llc_kib, seed=seed, engine=engine
+    )
     if jobs == 1:
         return [
             run_spec_pair_experiment(
@@ -117,9 +120,12 @@ def parsec_sweep(
     llc_kib: int = 128,
     seed: int = 0xFACE,
     jobs: Optional[int] = 1,
+    engine: str = "object",
 ) -> List[ExperimentResult]:
     """The Figure 9 / Table II PARSEC sweep (2 threads on 2 cores)."""
-    config = scaled_experiment_config(num_cores=2, llc_kib=llc_kib, seed=seed)
+    config = scaled_experiment_config(
+        num_cores=2, llc_kib=llc_kib, seed=seed, engine=engine
+    )
     if jobs == 1:
         return [
             run_parsec_experiment(
@@ -140,6 +146,7 @@ def llc_sensitivity_sweep(
     instructions: int = 120_000,
     seed: int = 0xBEEF,
     jobs: Optional[int] = 1,
+    engine: str = "object",
 ) -> Dict[int, List[ExperimentResult]]:
     """The Figure 10 sweep: the same pairs at growing LLC sizes.
 
@@ -152,7 +159,7 @@ def llc_sensitivity_sweep(
     if jobs == 1:
         for llc_kib in llc_sizes_kib:
             config = scaled_experiment_config(
-                num_cores=1, llc_kib=llc_kib, seed=seed
+                num_cores=1, llc_kib=llc_kib, seed=seed, engine=engine
             )
             results[llc_kib] = [
                 run_spec_pair_experiment(
@@ -163,7 +170,9 @@ def llc_sensitivity_sweep(
         return results
     all_jobs: List[SweepJob] = []
     for llc_kib in llc_sizes_kib:
-        config = scaled_experiment_config(num_cores=1, llc_kib=llc_kib, seed=seed)
+        config = scaled_experiment_config(
+            num_cores=1, llc_kib=llc_kib, seed=seed, engine=engine
+        )
         all_jobs.extend(
             _spec_pair_jobs(
                 config, pairs, instructions, seed, label_prefix=f"{llc_kib}KiB/"
@@ -199,6 +208,7 @@ def resilient_spec_pair_sweep(
     retries: int = 2,
     backoff_s: float = 0.5,
     jobs: Optional[int] = 1,
+    engine: str = "object",
 ) -> SweepOutcome:
     """:func:`spec_pair_sweep` under the resilient runner.
 
@@ -210,7 +220,9 @@ def resilient_spec_pair_sweep(
     retry/checkpoint/resume semantics (see
     :class:`~repro.analysis.parallel.ParallelSweepExecutor`).
     """
-    config = scaled_experiment_config(num_cores=1, llc_kib=llc_kib, seed=seed)
+    config = scaled_experiment_config(
+        num_cores=1, llc_kib=llc_kib, seed=seed, engine=engine
+    )
 
     if jobs == 1:
 
@@ -246,10 +258,13 @@ def resilient_parsec_sweep(
     retries: int = 2,
     backoff_s: float = 0.5,
     jobs: Optional[int] = 1,
+    engine: str = "object",
 ) -> SweepOutcome:
     """:func:`parsec_sweep` under the resilient runner (see
     :func:`resilient_spec_pair_sweep` for the failure semantics)."""
-    config = scaled_experiment_config(num_cores=2, llc_kib=llc_kib, seed=seed)
+    config = scaled_experiment_config(
+        num_cores=2, llc_kib=llc_kib, seed=seed, engine=engine
+    )
 
     if jobs == 1:
 
@@ -281,7 +296,11 @@ def resilient_parsec_sweep(
     )
 
 
-def single_config(llc_kib: int = 128, num_cores: int = 1) -> SimConfig:
+def single_config(
+    llc_kib: int = 128, num_cores: int = 1, engine: str = "object"
+) -> SimConfig:
     """Convenience for examples/tests wanting the standard experiment
     configuration."""
-    return scaled_experiment_config(num_cores=num_cores, llc_kib=llc_kib)
+    return scaled_experiment_config(
+        num_cores=num_cores, llc_kib=llc_kib, engine=engine
+    )

@@ -158,6 +158,14 @@ class HierarchyConfig:
     #: s-bit, so they never extend another context's visibility — the
     #: first-access discipline is preserved (tested).
     next_line_prefetch: bool = False
+    #: which simulation engine services accesses:
+    #: * ``"object"`` — the reference model (CacheLine objects, one
+    #:   CacheSet per set); every feature, every replacement policy.
+    #: * ``"fast"``   — struct-of-arrays hot path
+    #:   (:mod:`repro.memsys.fastengine`), semantics-identical and
+    #:   differentially fuzzed against the object engine, ~an order of
+    #:   magnitude faster; supports the lru/fifo/random policies.
+    engine: str = "object"
     l1i: CacheConfig = field(
         default_factory=lambda: CacheConfig("L1I", 32 * KIB, ways=4)
     )
@@ -174,6 +182,10 @@ class HierarchyConfig:
             raise ConfigError("num_cores must be positive")
         if self.threads_per_core <= 0:
             raise ConfigError("threads_per_core must be positive")
+        if self.engine not in ("object", "fast"):
+            raise ConfigError(
+                f"engine must be 'object' or 'fast', got {self.engine!r}"
+            )
         for cache in (self.l1i, self.l1d, self.llc):
             cache.validate()
         if self.l1i.line_bytes != self.llc.line_bytes or (
@@ -302,6 +314,7 @@ def scaled_experiment_config(
     quantum_cycles: int = 400_000,
     seed: int = 0xC0FFEE,
     sbit_dma_cycles: Optional[int] = None,
+    engine: str = "object",
 ) -> SimConfig:
     """Down-scaled configuration used by the benchmark harness.
 
@@ -321,6 +334,7 @@ def scaled_experiment_config(
         hierarchy=HierarchyConfig(
             num_cores=num_cores,
             threads_per_core=1,
+            engine=engine,
             l1i=CacheConfig("L1I", l1_kib * KIB, ways=4),
             l1d=CacheConfig("L1D", l1_kib * KIB, ways=4),
             llc=CacheConfig("LLC", llc_kib * KIB, ways=8),

@@ -39,7 +39,13 @@ class TimeCacheSystem:
         self.config = config
         self.clock = GlobalClock()
         self.rng = DeterministicRng(config.seed)
-        self.hierarchy = MemoryHierarchy(
+        if config.hierarchy.engine == "fast":
+            from repro.memsys.fastengine import FastHierarchy
+
+            hierarchy_cls = FastHierarchy
+        else:
+            hierarchy_cls = MemoryHierarchy
+        self.hierarchy = hierarchy_cls(
             config.hierarchy,
             timecache=config.timecache,
             clock=self.clock,

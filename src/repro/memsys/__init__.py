@@ -15,6 +15,7 @@ from repro.memsys.cache import Cache
 from repro.memsys.cacheset import CacheSet
 from repro.memsys.coherence import Directory
 from repro.memsys.dram import Dram
+from repro.memsys.fastengine import FastCache, FastHierarchy
 from repro.memsys.hierarchy import AccessKind, AccessResult, MemoryHierarchy
 from repro.memsys.line import CacheLine, LineState
 from repro.memsys.replacement import (
@@ -33,6 +34,8 @@ __all__ = [
     "CacheSet",
     "Directory",
     "Dram",
+    "FastCache",
+    "FastHierarchy",
     "FifoPolicy",
     "LineState",
     "LruPolicy",

@@ -87,6 +87,23 @@ class Cache:
         #: the evicted sharer re-pays a first access, never gains a hit.
         self.max_sharers = max_sharers
         self.stats = StatGroup(config.name)
+        # Hot counters, bound once so the access path never pays a
+        # per-record dict lookup (see StatGroup.bound_counter).
+        self.c_accesses = self.stats.bound_counter("accesses")
+        self.c_hits = self.stats.bound_counter("hits")
+        self.c_misses = self.stats.bound_counter("misses")
+        self.c_first_access_misses = self.stats.bound_counter(
+            "first_access_misses"
+        )
+        self.c_fills = self.stats.bound_counter("fills")
+        self.c_evictions = self.stats.bound_counter("evictions")
+        self.c_dirty_evictions = self.stats.bound_counter("dirty_evictions")
+        self.c_cold_misses = self.stats.bound_counter("cold_misses")
+        self.c_invalidations = self.stats.bound_counter("invalidations")
+        self.c_writebacks = self.stats.bound_counter("writebacks")
+        self.c_back_invalidations = self.stats.bound_counter(
+            "back_invalidations"
+        )
         #: line addresses ever filled, to classify cold (compulsory)
         #: misses — reported separately so scaled (short) runs can report
         #: demand MPKI comparably to the paper's 1e9-instruction runs
@@ -202,10 +219,10 @@ class Cache:
         self.sbits[set_idx, way] = self.ctx_bit(ctx)
         self.valid[set_idx, way] = True
         self._notify("fill", set_idx, way, ctx)
-        self.stats.counter("fills").add()
+        self.c_fills.add()
         if line_addr not in self._ever_filled:
             self._ever_filled.add(line_addr)
-            self.stats.counter("cold_misses").add()
+            self.c_cold_misses.add()
         return line, victim
 
     def _evict(self, set_idx: int, way: int) -> CacheLine:
@@ -214,9 +231,9 @@ class Cache:
         self.sbits[set_idx, way] = 0
         self.valid[set_idx, way] = False
         self._notify("evict", set_idx, way)
-        self.stats.counter("evictions").add()
+        self.c_evictions.add()
         if line.dirty:
-            self.stats.counter("dirty_evictions").add()
+            self.c_dirty_evictions.add()
         return line
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:
@@ -229,7 +246,7 @@ class Cache:
         self.sbits[set_idx, way] = 0
         self.valid[set_idx, way] = False
         self._notify("invalidate", set_idx, way)
-        self.stats.counter("invalidations").add()
+        self.c_invalidations.add()
         return line
 
     def resident(self, line_addr: int) -> bool:
@@ -245,6 +262,42 @@ class Cache:
     @property
     def occupancy(self) -> int:
         return sum(cset.occupancy for cset in self.sets)
+
+    # ------------------------------------------------------------------
+    # Engine-generic slot accessors (the hierarchy's coherence and flush
+    # paths use only these, so they run unchanged on the fast engine,
+    # which has no CacheLine objects to hand out)
+    # ------------------------------------------------------------------
+    def mark_dirty(self, set_idx: int, way: int) -> None:
+        """Dirty the resident line (store upgrade / private writeback)."""
+        line = self.sets[set_idx].lines[way]
+        if line is None:
+            raise SimulationError(f"{self.name}: mark_dirty on empty slot")
+        line.dirty = True
+        line.state = LineState.MODIFIED
+
+    def is_dirty(self, set_idx: int, way: int) -> bool:
+        line = self.sets[set_idx].lines[way]
+        return line is not None and line.dirty
+
+    def downgrade(self, set_idx: int, way: int) -> None:
+        """MODIFIED -> SHARED after a cache-to-cache transfer."""
+        line = self.sets[set_idx].lines[way]
+        if line is None:
+            raise SimulationError(f"{self.name}: downgrade on empty slot")
+        line.dirty = False
+        line.state = LineState.SHARED
+
+    def resident_tags_in_ways(self, ways: Sequence[int]) -> List[int]:
+        """Resident tags restricted to ``ways``, set-major then way order
+        (the iteration the partitioning domain flush performs)."""
+        tags: List[int] = []
+        for cset in self.sets:
+            for way in ways:
+                line = cset.lines[way]
+                if line is not None:
+                    tags.append(line.tag)
+        return tags
 
     # ------------------------------------------------------------------
     # Context-switch support (used by repro.core.context)

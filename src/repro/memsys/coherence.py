@@ -39,7 +39,10 @@ class Directory:
         return self._owner.get(line_addr, "")
 
     def add_sharer(self, line_addr: int, cache_id: str) -> None:
-        self._sharers.setdefault(line_addr, set()).add(cache_id)
+        sharers = self._sharers.get(line_addr)
+        if sharers is None:
+            sharers = self._sharers[line_addr] = set()
+        sharers.add(cache_id)
 
     def remove_sharer(self, line_addr: int, cache_id: str) -> None:
         sharers = self._sharers.get(line_addr)

@@ -36,12 +36,19 @@ class Dram:
         self.row_hit_discount = row_hit_discount
         self._open_row: Optional[int] = None
         self.stats = StatGroup("DRAM")
+        self.c_accesses = self.stats.bound_counter("accesses")
+        self.c_writebacks = self.stats.bound_counter("writebacks")
+        #: with no discount the open-row state is unobservable, so the
+        #: access path can skip the row arithmetic entirely
+        self._fixed_latency = row_hit_discount == 0
 
     def access(self, line_addr: int) -> int:
         """Service a line fetch or writeback; returns the latency."""
-        self.stats.counter("accesses").add()
+        self.c_accesses.add()
+        if self._fixed_latency:
+            return self.latency
         row = line_addr // self.row_lines
-        if self.row_hit_discount and row == self._open_row:
+        if row == self._open_row:
             self.stats.counter("row_hits").add()
             return self.latency - self.row_hit_discount
         self._open_row = row
@@ -49,5 +56,5 @@ class Dram:
 
     def writeback(self, line_addr: int) -> int:
         """Accept a dirty line; modeled like an access for latency."""
-        self.stats.counter("writebacks").add()
+        self.c_writebacks.add()
         return self.access(line_addr)

@@ -86,7 +86,7 @@ class MemoryHierarchy:
         for core in range(config.num_cores):
             ctxs = all_ctxs[core * threads : (core + 1) * threads]
             self.l1i.append(
-                Cache(
+                self._make_cache(
                     replace(config.l1i, name=f"L1I{core}"),
                     ctxs,
                     lat.l1_hit,
@@ -95,7 +95,7 @@ class MemoryHierarchy:
                 )
             )
             self.l1d.append(
-                Cache(
+                self._make_cache(
                     replace(config.l1d, name=f"L1D{core}"),
                     ctxs,
                     lat.l1_hit,
@@ -103,7 +103,7 @@ class MemoryHierarchy:
                     max_sharers=self.tc_config.max_sharers,
                 )
             )
-        self.llc = Cache(
+        self.llc = self._make_cache(
             config.llc,
             all_ctxs,
             lat.l2_hit,
@@ -113,6 +113,10 @@ class MemoryHierarchy:
         self.dram = Dram(lat.dram, line_bytes=config.line_bytes)
         self.directory = Directory()
         self.stats = StatGroup("hierarchy")
+        self.c_accesses = self.stats.bound_counter("accesses")
+        self._private_name_map: Dict[str, Cache] = {
+            cache.name: cache for cache in self.private_caches()
+        }
         #: CAT-style partitioning state: security domain per hw context
         #: (programmed by the OS at context switches) and the LLC way
         #: range per domain.  Empty/None when partitioning is off.
@@ -128,6 +132,22 @@ class MemoryHierarchy:
         self.post_access_listeners: List[
             Callable[[int, int, AccessKind, int, AccessResult], None]
         ] = []
+
+    def _make_cache(
+        self,
+        config,
+        hw_contexts,
+        hit_latency: int,
+        rng: DeterministicRng,
+        max_sharers: int = 0,
+    ) -> Cache:
+        """Cache factory; the fast engine overrides this single seam to
+        substitute its struct-of-arrays implementation while reusing the
+        topology/rng-fork wiring above (fork names are part of the
+        deterministic contract between the engines)."""
+        return Cache(
+            config, hw_contexts, hit_latency, rng, max_sharers=max_sharers
+        )
 
     # ------------------------------------------------------------------
     # CAT-style way partitioning (the comparison baseline)
@@ -180,14 +200,10 @@ class MemoryHierarchy:
         caches (the Apparition flush at a context switch).  Returns the
         number of LLC lines flushed (the cost driver)."""
         flushed = 0
-        ways = self.domain_ways(domain)
-        for cset in self.llc.sets:
-            for way in list(ways):
-                line = cset.lines[way]
-                if line is None:
-                    continue
-                self._flush_line_everywhere(line.tag)
-                flushed += 1
+        ways = list(self.domain_ways(domain))
+        for tag in self.llc.resident_tags_in_ways(ways):
+            self._flush_line_everywhere(tag)
+            flushed += 1
         self.stats.counter("domain_flushes").add()
         return flushed
 
@@ -280,7 +296,7 @@ class MemoryHierarchy:
             for listener in self.pre_access_listeners:
                 listener(ctx, line, kind, now)
         result = self._access_l1(l1, line, ctx, is_write, now)
-        self.stats.counter("accesses").add()
+        self.c_accesses.add()
         if self.post_access_listeners:
             for listener in self.post_access_listeners:
                 listener(ctx, line, kind, now, result)
@@ -289,7 +305,7 @@ class MemoryHierarchy:
     def _access_l1(
         self, l1: Cache, line: int, ctx: int, is_write: bool, now: int
     ) -> AccessResult:
-        l1.stats.counter("accesses").add()
+        l1.c_accesses.add()
         pos = l1.lookup(line)
         if pos is not None:
             set_idx, way = pos
@@ -298,19 +314,19 @@ class MemoryHierarchy:
                 # First access: tag hit, s-bit clear.  Probe downward for
                 # latency; data stays where it is; set the s-bit so later
                 # accesses are plain hits.
-                l1.stats.counter("first_access_misses").add()
+                l1.c_first_access_misses.add()
                 below, level = self._probe_llc(line, ctx, now)
                 l1.set_sbit(set_idx, way, ctx)
                 latency = l1.hit_latency + below
             else:
-                l1.stats.counter("hits").add()
+                l1.c_hits.add()
                 latency, level = l1.hit_latency, "L1"
             l1.touch(set_idx, way, now)
             if is_write:
                 latency += self._store_upgrade(l1, line, set_idx, way, now)
             return AccessResult(latency, level, first)
 
-        l1.stats.counter("misses").add()
+        l1.c_misses.add()
         below, level, llc_first = self._access_llc(l1, line, ctx, is_write, now)
         self._fill_private(l1, line, ctx, is_write, now)
         if self.config.next_line_prefetch:
@@ -356,7 +372,7 @@ class MemoryHierarchy:
         Returns (latency below L1, service level, first_access_at_llc).
         """
         llc = self.llc
-        llc.stats.counter("accesses").add()
+        llc.c_accesses.add()
         sctx = self._llc_sbit_ctx(ctx)
         pos = llc.lookup(line)
         if pos is not None:
@@ -366,7 +382,7 @@ class MemoryHierarchy:
                 set_idx, way, sctx
             )
             if first:
-                llc.stats.counter("first_access_misses").add()
+                llc.c_first_access_misses.add()
                 dram_latency = self.dram.access(line)  # data discarded
                 # Any cache-to-cache transfer overlaps the DRAM probe: the
                 # response is released only when DRAM answers, so a remote
@@ -376,7 +392,7 @@ class MemoryHierarchy:
                 level = "DRAM"
                 llc.set_sbit(set_idx, way, sctx)
             else:
-                llc.stats.counter("hits").add()
+                llc.c_hits.add()
                 latency = llc.hit_latency + extra
                 if level == "":
                     level = "LLC"
@@ -387,7 +403,7 @@ class MemoryHierarchy:
                 self.directory.add_sharer(line, l1.name)
             return latency, level, first
 
-        llc.stats.counter("misses").add()
+        llc.c_misses.add()
         dram_latency = self.dram.access(line)
         _, victim = llc.fill(
             line,
@@ -423,15 +439,15 @@ class MemoryHierarchy:
                 f"inclusion violated: line {line:#x} in an L1 but not in LLC"
             )
         set_idx, way = pos
-        llc.stats.counter("accesses").add()
+        llc.c_accesses.add()
         llc.touch(set_idx, way, now)
         sctx = self._llc_sbit_ctx(ctx)
         sbit = llc.sbit_is_set(set_idx, way, sctx)
         if sbit and not self.tc_config.dram_latency_on_first_access:
-            llc.stats.counter("hits").add()
+            llc.c_hits.add()
             return llc.hit_latency, "LLC"
         if not sbit:
-            llc.stats.counter("first_access_misses").add()
+            llc.c_first_access_misses.add()
             llc.set_sbit(set_idx, way, sctx)
         return llc.hit_latency + self.dram.access(line), "DRAM"
 
@@ -453,11 +469,7 @@ class MemoryHierarchy:
         self, l1: Cache, line: int, set_idx: int, way: int, now: int
     ) -> int:
         """A store hit: dirty the line, invalidate other private copies."""
-        resident = l1.line_at(set_idx, way)
-        if resident is None:
-            raise SimulationError("store upgrade on empty slot")
-        resident.dirty = True
-        resident.state = LineState.MODIFIED
+        l1.mark_dirty(set_idx, way)
         self._invalidate_other_private(l1, line)
         self.directory.set_owner(line, l1.name)
         return 0
@@ -489,12 +501,10 @@ class MemoryHierarchy:
             pos = owner_cache.lookup(line)
             if pos is not None:
                 set_idx, way = pos
-                owned_line = owner_cache.line_at(set_idx, way)
-                if owned_line is not None and owned_line.dirty:
+                if owner_cache.is_dirty(set_idx, way):
                     extra += self.latency.remote_transfer
                     level = "remote"
-                    owned_line.dirty = False
-                    owned_line.state = LineState.SHARED
+                    owner_cache.downgrade(set_idx, way)
                     self._writeback_to_llc(line)
             self.directory.clear_owner(line)
         if is_write:
@@ -502,10 +512,10 @@ class MemoryHierarchy:
         return extra, level
 
     def _private_by_name(self, name: str) -> Cache:
-        for cache in self.private_caches():
-            if cache.name == name:
-                return cache
-        raise SimulationError(f"unknown private cache {name!r}")
+        try:
+            return self._private_name_map[name]
+        except KeyError:
+            raise SimulationError(f"unknown private cache {name!r}") from None
 
     def _writeback_to_llc(self, line: int) -> None:
         pos = self.llc.lookup(line)
@@ -514,17 +524,13 @@ class MemoryHierarchy:
                 f"writeback of line {line:#x} but LLC does not hold it"
             )
         set_idx, way = pos
-        resident = self.llc.line_at(set_idx, way)
-        if resident is None:
-            raise SimulationError("LLC slot empty despite lookup hit")
-        resident.dirty = True
-        resident.state = LineState.MODIFIED
+        self.llc.mark_dirty(set_idx, way)
 
     def _handle_private_eviction(self, l1: Cache, victim: CacheLine) -> None:
         line = victim.tag
         if victim.dirty:
             self._writeback_to_llc(line)
-            l1.stats.counter("writebacks").add()
+            l1.c_writebacks.add()
         self.directory.remove_sharer(line, l1.name)
 
     def _handle_llc_eviction(self, victim: CacheLine) -> int:
@@ -541,10 +547,10 @@ class MemoryHierarchy:
             evicted = cache.invalidate(line)
             if evicted is not None and evicted.dirty:
                 dirty = True
-        self.llc.stats.counter("back_invalidations").add()
+        self.llc.c_back_invalidations.add()
         if dirty:
             self.dram.writeback(line)
-            self.llc.stats.counter("writebacks").add()
+            self.llc.c_writebacks.add()
             return self.latency.writeback
         return 0
 

@@ -1,15 +1,18 @@
 """The perf benchmark harness: output files, baseline gate, CLI."""
 
 import json
+import os
 
 import pytest
 
 from repro.analysis.bench import (
     BENCHMARKS,
     BenchResult,
+    bench_sweep_parallel,
     compare_to_baseline,
     load_baseline,
     machine_metadata,
+    profile_benchmarks,
     run_benchmarks,
     write_baseline,
     write_results,
@@ -98,14 +101,108 @@ class TestRealWorkloads:
         # the vectorized path must beat the gate-level scan decisively
         assert result.extra["fast_speedup"] > 1.0
 
-    def test_sweep_parallel_bench_records_speedup(self):
+    def test_sweep_parallel_bench_records_speedup(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         result = run_benchmarks(
             names=["sweep_parallel"], quick=True, jobs=2
         )["sweep_parallel"]
+        assert result.skipped is None
         assert result.extra["jobs"] == 2.0
         assert result.extra["serial_median_s"] > 0
         assert result.extra["parallel_median_s"] > 0
         assert result.extra["speedup"] > 0
+
+    def test_sweep_parallel_skips_on_single_cpu(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        result = bench_sweep_parallel(quick=True, jobs=2)
+        assert result.skipped == "insufficient_cpus"
+        assert result.runs == []
+        assert result.median_s == 0.0
+        assert result.extra["cpus"] == 1.0
+
+    def test_sweep_parallel_skips_with_one_worker(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        result = bench_sweep_parallel(quick=True, jobs=1)
+        assert result.skipped == "insufficient_cpus"
+
+
+class TestEngineSelection:
+    def test_engine_aware_benches_get_fast_suffix(self):
+        results = run_benchmarks(
+            names=["hierarchy_access"], quick=True, engine="fast"
+        )
+        assert list(results) == ["hierarchy_access_fast"]
+        assert results["hierarchy_access_fast"].name == "hierarchy_access_fast"
+        assert results["hierarchy_access_fast"].median_s > 0
+
+    def test_engine_agnostic_benches_keep_their_name(self):
+        results = run_benchmarks(
+            names=["comparator"], quick=True, engine="fast"
+        )
+        assert list(results) == ["comparator"]
+
+    def test_object_engine_keeps_plain_names(self):
+        results = run_benchmarks(
+            names=["hierarchy_access"], quick=True, engine="object"
+        )
+        assert list(results) == ["hierarchy_access"]
+
+
+class TestSkippedResults:
+    def _skipped(self):
+        return BenchResult(
+            "sweep_parallel",
+            runs=[],
+            extra={"cpus": 1.0},
+            skipped="insufficient_cpus",
+        )
+
+    def test_compare_ignores_skipped_results(self):
+        results = {"sweep_parallel": self._skipped()}
+        baseline = {"sweep_parallel": 0.5}
+        assert compare_to_baseline(results, baseline, threshold=0.20) == []
+
+    def test_load_baseline_drops_skipped_entries(self, tmp_path):
+        results = {
+            "sweep_parallel": self._skipped(),
+            "comparator": BenchResult("comparator", runs=[0.010]),
+        }
+        path = write_baseline(results, tmp_path / "BASELINE.json")
+        assert load_baseline(path) == {"comparator": pytest.approx(0.010)}
+
+    def test_skipped_reason_serialized(self, tmp_path):
+        paths = write_results({"sweep_parallel": self._skipped()}, tmp_path)
+        payload = json.loads(paths[0].read_text())
+        assert payload["skipped"] == "insufficient_cpus"
+        assert payload["median_s"] == 0.0
+
+
+class TestProfile:
+    def test_profile_writes_pstats_dump(self, tmp_path):
+        import pstats
+
+        paths = profile_benchmarks(
+            names=["comparator"], quick=True, output_dir=tmp_path
+        )
+        assert [p.name for p in paths] == ["BENCH_profile_comparator.pstats"]
+        stats = pstats.Stats(str(paths[0]))
+        assert stats.total_calls > 0
+
+    def test_profile_cli_flag(self, tmp_path, capsys):
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--only",
+                "comparator",
+                "--profile",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "BENCH_profile_comparator.pstats").exists()
+        assert "pstats" in capsys.readouterr().out
 
 
 class TestBenchCli:

@@ -1,0 +1,172 @@
+"""Differential fuzz: the fast engine must be bit-identical to the object one.
+
+Each scenario replays the same seeded random trace through both engines and
+asserts that every ``AccessResult`` (latency, level, first_access), every
+context-switch cost, the full stats snapshot, and the final architectural
+state (s-bits, Tc, valid bits, resident tags per cache) agree exactly.
+
+Ten scenarios x twenty seeds = 200 random traces, covering the defense on
+and off, context switches, multi-core stores and coherence, SMT sibling
+contexts, FTM comparison mode, prefetch, the fifo/random replacement
+policies, limited-pointer sharer eviction, the DRAM-latency-on-first-access
+hardening, and narrow-timestamp rollover.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import scaled_experiment_config
+from repro.common.rng import DeterministicRng
+from repro.core import TimeCacheSystem
+from repro.memsys import AccessKind
+
+SEEDS = range(20)
+
+KINDS = (
+    AccessKind.LOAD,
+    AccessKind.LOAD,
+    AccessKind.LOAD,
+    AccessKind.STORE,
+    AccessKind.IFETCH,
+)
+
+
+def _replace_hierarchy(cfg, **changes):
+    return dataclasses.replace(
+        cfg, hierarchy=dataclasses.replace(cfg.hierarchy, **changes)
+    )
+
+
+def _with_replacement(cfg, policy):
+    hier = cfg.hierarchy
+    return dataclasses.replace(
+        cfg,
+        hierarchy=dataclasses.replace(
+            hier,
+            l1i=dataclasses.replace(hier.l1i, replacement=policy),
+            l1d=dataclasses.replace(hier.l1d, replacement=policy),
+            llc=dataclasses.replace(hier.llc, replacement=policy),
+        ),
+    )
+
+
+# name -> (config factory taking engine + seed, contexts, switches?)
+def _base(engine, seed):
+    return scaled_experiment_config(seed=seed, engine=engine)
+
+
+SCENARIOS = {
+    "baseline_off": (lambda e, s: _base(e, s).baseline(), 1, False),
+    "tc_on": (_base, 1, False),
+    "tc_on_switches": (_base, 1, True),
+    "two_cores_stores": (
+        lambda e, s: scaled_experiment_config(num_cores=2, seed=s, engine=e),
+        2,
+        True,
+    ),
+    "smt_siblings": (
+        lambda e, s: _replace_hierarchy(_base(e, s), threads_per_core=2),
+        2,
+        True,
+    ),
+    "ftm_mode": (
+        lambda e, s: scaled_experiment_config(
+            num_cores=2, seed=s, engine=e
+        ).with_timecache(enabled=False, ftm_mode=True),
+        2,
+        True,
+    ),
+    "prefetch_fifo": (
+        lambda e, s: _with_replacement(
+            _replace_hierarchy(_base(e, s), next_line_prefetch=True), "fifo"
+        ),
+        1,
+        False,
+    ),
+    "random_max_sharers": (
+        lambda e, s: _with_replacement(
+            scaled_experiment_config(num_cores=2, seed=s, engine=e), "random"
+        ).with_timecache(max_sharers=1),
+        2,
+        True,
+    ),
+    "dram_first_access": (
+        lambda e, s: _base(e, s).with_timecache(
+            dram_latency_on_first_access=True
+        ),
+        1,
+        False,
+    ),
+    "narrow_timestamp_rollover": (
+        lambda e, s: _base(e, s).with_timecache(timestamp_bits=8),
+        1,
+        True,
+    ),
+}
+
+
+def _run_trace(config, seed, contexts, switches, n=500, pool=192):
+    """Drive one system with a seeded random trace; return observables."""
+    system = TimeCacheSystem(config)
+    rng = DeterministicRng(seed * 7919 + 13)
+    events = []
+    now = 0
+    task_of_ctx = {ctx: ctx for ctx in range(contexts)}
+    next_task = contexts
+    for i in range(n):
+        now += rng.randint(1, 50)
+        ctx = rng.randint(0, contexts - 1) if contexts > 1 else 0
+        addr = rng.randint(0, pool - 1) << 6
+        kind = KINDS[rng.randint(0, len(KINDS) - 1)]
+        result = system.access(ctx, addr, kind, now)
+        events.append((result.latency, result.level, result.first_access))
+        if switches and i % 97 == 96:
+            ctx = rng.randint(0, contexts - 1) if contexts > 1 else 0
+            if rng.randint(0, 2) == 0:
+                next_task += 1
+            incoming = rng.randint(0, next_task - 1)
+            cost = system.context_switch(task_of_ctx[ctx], incoming, ctx, now)
+            task_of_ctx[ctx] = incoming
+            events.append(
+                (
+                    "switch",
+                    cost.dma_cycles,
+                    cost.comparator_cycles,
+                    cost.rollover_reset,
+                )
+            )
+    final = {}
+    for cache in system.hierarchy.all_caches():
+        final[cache.name] = (
+            cache.sbits.tolist(),
+            cache.tc.tolist(),
+            cache.valid.tolist(),
+            sorted(cache.resident_line_addrs()),
+        )
+    return events, system.stats_snapshot(), final
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_agree(scenario, seed):
+    make_config, contexts, switches = SCENARIOS[scenario]
+    obj = _run_trace(
+        make_config("object", seed), seed, contexts, switches
+    )
+    fast = _run_trace(
+        make_config("fast", seed), seed, contexts, switches
+    )
+    assert obj[0] == fast[0], f"{scenario}: access/switch streams diverge"
+    assert obj[1] == fast[1], f"{scenario}: stats snapshots diverge"
+    assert obj[2] == fast[2], f"{scenario}: final cache state diverges"
+
+
+def test_fast_engine_rejects_unsupported_policy():
+    from repro.common.config import ConfigError
+
+    config = _with_replacement(
+        scaled_experiment_config(engine="fast"), "tree-plru"
+    )
+    with pytest.raises(ConfigError, match="tree-plru"):
+        TimeCacheSystem(config)
