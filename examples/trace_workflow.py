@@ -7,8 +7,12 @@ This is the downstream-user loop for regression experiments:
 1. record a synthetic benchmark's operation stream to a trace file
    (text, diffable, one op per line);
 2. replay the *identical* stream under the undefended baseline, under
-   TimeCache, and under the partitioning baseline;
-3. export the comparison as JSON for further analysis.
+   TimeCache, and under the partitioning baseline — the TimeCache
+   replay runs with an obs Tracer attached, leaving a simulator-time
+   event stream (fills, first accesses, context switches) beside the
+   results;
+3. export the comparison as JSON, a Perfetto-loadable trace of the
+   defended replay, and a run manifest indexing every artifact.
 
 Run:  python examples/trace_workflow.py [workdir]
 """
@@ -18,19 +22,23 @@ import tempfile
 from pathlib import Path
 
 from repro.analysis.export import save_json
+from repro.analysis.runner import write_run_manifest
 from repro.common import scaled_experiment_config
 from repro.cpu.tracing import record_program, save_trace, trace_file_program
+from repro.obs import JsonlSink, Tracer, read_events, write_chrome_trace
 from repro.os.kernel import Kernel
 from repro.workloads.generator import WorkloadBuilder
 from repro.workloads.profiles import spec_profile
 
 
-def replay(config, trace_path, label):
+def replay(config, trace_path, label, tracer=None):
     """Replay the trace as TWO processes time-sliced on one core — the
     paper's single-core pair methodology.  Their text/libc/kernel pages
     deduplicate (shared software); data stays private, so the defenses'
     costs (first accesses, partition flushes) actually engage."""
     kernel = Kernel(config)
+    if tracer is not None:
+        tracer.attach_kernel(kernel)
     builder = WorkloadBuilder(kernel, seed=11)
     tasks = []
     for instance in range(2):
@@ -44,6 +52,8 @@ def replay(config, trace_path, label):
         kernel.submit(task)
         tasks.append(task)
     kernel.run()
+    if tracer is not None:
+        tracer.detach()
     hier = kernel.system.hierarchy
     return {
         "label": label,
@@ -73,13 +83,16 @@ def main() -> None:
     count = save_trace(ops, trace_path)
     print(f"recorded {count} ops -> {trace_path}")
 
-    # 2. replay under each configuration
+    # 2. replay under each configuration; the defended replay is traced
     base_cfg = scaled_experiment_config()
+    obs_path = workdir / "timecache_replay.jsonl"
+    tracer = Tracer(JsonlSink(obs_path))
     rows = [
         replay(base_cfg.baseline(), trace_path, "baseline"),
-        replay(base_cfg, trace_path, "timecache"),
+        replay(base_cfg, trace_path, "timecache", tracer=tracer),
         replay(base_cfg.with_partitioning(domains=2), trace_path, "partition"),
     ]
+    tracer.close()
     base_cycles = rows[0]["cycles"]
     print(f"\n{'config':<12} {'cycles':>10} {'norm':>8} {'LLC miss':>9} {'fa-miss':>8}")
     for row in rows:
@@ -89,12 +102,26 @@ def main() -> None:
             f"{row['llc_misses']:>9} {row['llc_first_access_misses']:>8}"
         )
 
-    # 3. export
+    # 3. export: results, a Perfetto view of the defended replay, and a
+    # manifest so the workdir is self-describing
     out = save_json(
         {"schema": 1, "kind": "trace_replay", "results": rows},
         workdir / "replay_results.json",
     )
+    perfetto = write_chrome_trace(
+        read_events(obs_path), workdir / "timecache_replay.perfetto.json"
+    )
+    manifest_path = workdir / "manifest.json"
+    write_run_manifest(
+        manifest_path,
+        command=["examples/trace_workflow.py"],
+        config=base_cfg,
+        artifacts=[out, obs_path, perfetto],
+        extra={"rows": len(rows)},
+    )
     print(f"\nwrote {out}")
+    print(f"wrote {obs_path} (open {perfetto.name} in ui.perfetto.dev)")
+    print(f"wrote {manifest_path}")
     print(
         "\nSame ops, three machines: the trace file pins the workload so "
         "any\ncycle difference is attributable to the defense alone."

@@ -11,6 +11,10 @@ watch.  The workloads:
   vectorized ``fast_compare`` over the same timestamp array;
 * ``hierarchy_access``  — raw access throughput through the modeled
   L1/LLC hierarchy with TimeCache enabled;
+* ``hierarchy_access_traced`` — the same access trace under the
+  observability layer: no tracer, a disabled tracer (the production
+  default, gated at <5% overhead), and an enabled tracer streaming
+  JSONL;
 * ``sweep_parallel``    — a small SPEC pair sweep at ``--jobs 1`` vs
   ``--jobs N``, recording the process-pool speedup.
 
@@ -46,7 +50,12 @@ BENCH_SCHEMA = 1
 #: relative slowdown vs baseline that counts as a regression
 DEFAULT_THRESHOLD = 0.20
 #: workloads that take an ``engine=`` keyword and get a ``_fast`` suffix
-ENGINE_AWARE = ("single_config", "hierarchy_access", "sweep_parallel")
+ENGINE_AWARE = (
+    "single_config",
+    "hierarchy_access",
+    "hierarchy_access_traced",
+    "sweep_parallel",
+)
 
 
 @dataclass
@@ -213,6 +222,94 @@ def bench_hierarchy_access(
     )
 
 
+def bench_hierarchy_access_traced(
+    quick: bool = False, engine: str = "object"
+) -> BenchResult:
+    """Tracing overhead on the raw-access hot path.
+
+    Drives the ``hierarchy_access`` trace through three systems: no
+    tracer at all, a *disabled* tracer (the production default — it
+    attaches nothing, so the hot path must be untouched), and an
+    *enabled* tracer streaming JSONL to a temp file.  Repeats are
+    interleaved across the arms so clock drift and thermal noise hit
+    all three equally.  ``runs`` (the baseline-gated number) times the
+    disabled arm; ``extra`` records the three medians plus min-based
+    overhead ratios — ``overhead_disabled`` is locked under 5% by
+    ``tests/obs/test_bench_traced.py``.
+    """
+    import dataclasses
+    import tempfile
+
+    from repro.common.rng import DeterministicRng
+    from repro.core.timecache import TimeCacheSystem
+    from repro.memsys.hierarchy import AccessKind
+    from repro.obs.sinks import JsonlSink
+    from repro.obs.tracer import Tracer
+    from repro.robustness.campaign import campaign_config
+
+    accesses = 20_000 if quick else 100_000
+    config = campaign_config(seed=7)
+    if engine != config.hierarchy.engine:
+        config = dataclasses.replace(
+            config,
+            hierarchy=dataclasses.replace(config.hierarchy, engine=engine),
+        )
+
+    def build_drive(tracer: Optional[Tracer] = None) -> Callable[[], None]:
+        system = TimeCacheSystem(config)
+        if tracer is not None:
+            tracer.attach(system)
+        line_bytes = system.config.hierarchy.line_bytes
+        rng = DeterministicRng(7)
+        pool = [0x10000 + i * line_bytes for i in range(256)]
+        addrs = [rng.choice(pool) for _ in range(accesses)]
+        access = system.hierarchy.access
+        load = AccessKind.LOAD
+
+        def drive() -> None:
+            now = 0
+            for addr in addrs:
+                latency = access(0, addr, load, now).latency
+                now += latency if latency > 0 else 1
+
+        return drive
+
+    repeats = 3 if quick else 5
+    with tempfile.TemporaryDirectory() as tmp:
+        sink = JsonlSink(Path(tmp) / "bench_trace.jsonl")
+        enabled_tracer = Tracer(sink)
+        arms = [
+            ("plain", build_drive(), []),
+            ("disabled", build_drive(Tracer(enabled=False)), []),
+            ("enabled", build_drive(enabled_tracer), []),
+        ]
+        for _, drive, _runs in arms:  # warm-up: fills + first misses
+            drive()
+        for _ in range(repeats):
+            for _, drive, runs in arms:
+                start = time.perf_counter()
+                drive()
+                runs.append(time.perf_counter() - start)
+        events = float(sink.emitted)
+        enabled_tracer.close()
+    plain_runs, disabled_runs, enabled_runs = (arm[2] for arm in arms)
+    return BenchResult(
+        name="hierarchy_access_traced",
+        runs=disabled_runs,
+        extra={
+            "accesses": float(accesses),
+            "plain_median_s": statistics.median(plain_runs),
+            "disabled_median_s": statistics.median(disabled_runs),
+            "enabled_median_s": statistics.median(enabled_runs),
+            # min-over-min is the noise-robust overhead estimator: the
+            # fastest observed run is the one least disturbed by the OS
+            "overhead_disabled": min(disabled_runs) / min(plain_runs) - 1.0,
+            "overhead_enabled": min(enabled_runs) / min(plain_runs) - 1.0,
+            "events": events,
+        },
+    )
+
+
 def bench_sweep_parallel(
     quick: bool = False, jobs: Optional[int] = None, engine: str = "object"
 ) -> BenchResult:
@@ -274,6 +371,7 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "single_config": bench_single_config,
     "comparator": bench_comparator,
     "hierarchy_access": bench_hierarchy_access,
+    "hierarchy_access_traced": bench_hierarchy_access_traced,
     "sweep_parallel": bench_sweep_parallel,
 }
 

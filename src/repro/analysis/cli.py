@@ -11,6 +11,8 @@ Usage (also available as ``python -m repro``):
     python -m repro attacks                # Section VII attack battery
     python -m repro faults --quick         # fault-injection detection matrix
     python -m repro bench --quick          # perf harness, BENCH_*.json
+    python -m repro trace                  # traced flush+reload + manifest
+    python -m repro obs summarize T.jsonl  # inspect a trace stream
 
 Each command prints the artifact in the paper's layout; ``--instructions``
 scales simulation length (longer = tighter match, slower).  ``table2`` and
@@ -22,12 +24,18 @@ off.
 ``--jobs N`` fans the sweep commands out across ``N`` worker processes
 (default: one per CPU; ``--jobs 1`` forces the serial path).  Results are
 identical either way — see docs/internals.md §9.
+
+``--quiet`` (global or per-command) suppresses progress chatter; the
+paper artifacts themselves — tables, figures, attack outcomes — are
+always printed.  Errors always go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.runner import (
@@ -43,6 +51,7 @@ from repro.analysis.tables import (
 )
 from repro.common import scaled_experiment_config
 from repro.common.units import geometric_mean
+from repro.obs.console import Console
 from repro.workloads.mixes import (
     PAPER_TABLE2_PARSEC,
     PAPER_TABLE2_SPEC,
@@ -60,7 +69,7 @@ def _cmd_micro(args: argparse.Namespace) -> int:
         ("TimeCache", scaled_experiment_config()),
     ):
         outcome = run_microbenchmark_attack(config, shared_lines=256)
-        print(
+        args.console.result(
             f"{label:<10} reload hits: {outcome.probe_hits}/"
             f"{outcome.probe_total}"
         )
@@ -71,13 +80,13 @@ def _cmd_rsa(args: argparse.Namespace) -> int:
     from repro.attacks.rsa import generate_key, run_rsa_attack
 
     key = generate_key(seed=args.seed, prime_bits=28)
-    print(f"{len(key.d_bits)}-bit secret exponent")
+    args.console.info(f"{len(key.d_bits)}-bit secret exponent")
     for label, config in (
         ("baseline", scaled_experiment_config(num_cores=2).baseline()),
         ("TimeCache", scaled_experiment_config(num_cores=2)),
     ):
         result = run_rsa_attack(config, key=key)
-        print(
+        args.console.result(
             f"{label:<10} hits {result.probe_hits:5d}  recovered "
             f"{len(result.recovered_bits):3d} bits  accuracy "
             f"{result.accuracy:.1%}  key recovered: {result.key_recovered}"
@@ -98,7 +107,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
         )
-        _report_sweep_outcome(outcome)
+        _report_sweep_outcome(args.console, outcome)
         labels = [pair_label(a, b) for a, b in pairs]
         results = outcome.ordered_results(labels)
         if not results:
@@ -110,20 +119,22 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
         )
-    print(render_table2(results, paper=PAPER_TABLE2_SPEC))
+    args.console.result(render_table2(results, paper=PAPER_TABLE2_SPEC))
     summary = summarize_overheads(results)
-    print(f"\ngeomean overhead {summary['geomean_overhead']:.4f} (paper 0.0113)")
+    args.console.result(
+        f"\ngeomean overhead {summary['geomean_overhead']:.4f} (paper 0.0113)"
+    )
     return 0
 
 
-def _report_sweep_outcome(outcome) -> None:
+def _report_sweep_outcome(console: Console, outcome) -> None:
     if outcome.resumed:
-        print(
+        console.info(
             f"resumed {len(outcome.resumed)} completed experiment(s) "
             f"from checkpoint"
         )
     for failure in outcome.failures:
-        print(
+        console.error(
             f"FAILED {failure.label}: {failure.error_type}: "
             f"{failure.message} (after {failure.attempts} attempts)"
         )
@@ -137,7 +148,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         engine=args.engine,
     )
-    print(render_mpki_table(results))
+    args.console.result(render_mpki_table(results))
     return 0
 
 
@@ -149,9 +160,9 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         engine=args.engine,
     )
-    print(render_table2(results, paper=PAPER_TABLE2_PARSEC))
-    print()
-    print(render_mpki_table(results))
+    args.console.result(render_table2(results, paper=PAPER_TABLE2_PARSEC))
+    args.console.result("")
+    args.console.result(render_mpki_table(results))
     return 0
 
 
@@ -168,7 +179,7 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
         (f"{kib}KiB", geometric_mean([r.normalized_time for r in results]))
         for kib, results in sweep.items()
     ]
-    print(render_figure_series("normalized time vs LLC size", series))
+    args.console.result(render_figure_series("normalized time vs LLC size", series))
     return 0
 
 
@@ -181,7 +192,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         bench_b=args.bench,
         instructions=args.instructions,
     )
-    print(comparison.render())
+    args.console.result(comparison.render())
     return 0
 
 
@@ -200,10 +211,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
         )
-        _report_sweep_outcome(outcome)
+        _report_sweep_outcome(args.console, outcome)
         labels = [pair_label(a, b) for a, b in pairs]
         path = export_outcome(outcome, labels, args.output)
-        print(f"wrote {len(outcome.results)} results to {path}")
+        args.console.result(f"wrote {len(outcome.results)} results to {path}")
         return 0
     results = spec_pair_sweep(
         pairs=pairs,
@@ -212,7 +223,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     path = export_sweep(results, args.output)
-    print(f"wrote {len(results)} results to {path}")
+    args.console.result(f"wrote {len(results)} results to {path}")
     return 0
 
 
@@ -221,8 +232,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     per_model = 3 if args.quick else args.injections
     matrix = run_fault_campaign(per_model=per_model, seed=args.seed)
-    print(matrix.render())
-    print(
+    args.console.result(matrix.render())
+    args.console.result(
         f"\n{matrix.total} injections: "
         f"{matrix.total - matrix.silent_total} detected or benign, "
         f"{matrix.silent_total} silent"
@@ -233,6 +244,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis import bench
 
+    console = args.console
     if args.profile:
         paths = bench.profile_benchmarks(
             names=args.only or None,
@@ -242,7 +254,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             output_dir=args.output_dir,
         )
         for path in paths:
-            print(f"wrote {path}")
+            console.info(f"wrote {path}")
         return 0
     results = bench.run_benchmarks(
         names=args.only or None,
@@ -251,11 +263,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     paths = bench.write_results(results, args.output_dir)
-    print(bench.render_results(results))
+    console.result(bench.render_results(results))
     for path in paths:
-        print(f"wrote {path}")
+        console.info(f"wrote {path}")
     if args.write_baseline:
-        print(f"wrote baseline {bench.write_baseline(results, args.write_baseline)}")
+        console.info(
+            f"wrote baseline {bench.write_baseline(results, args.write_baseline)}"
+        )
     if args.baseline:
         baseline = bench.load_baseline(args.baseline)
         regressions = bench.compare_to_baseline(
@@ -263,15 +277,102 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         if regressions:
             for message in regressions:
-                print(f"REGRESSION {message}")
+                console.error(f"REGRESSION {message}")
             if not args.warn_only:
                 return 1
-            print("(warn-only: not failing)")
+            console.info("(warn-only: not failing)")
         else:
-            print(
+            console.info(
                 f"no regression vs {args.baseline} "
                 f"(threshold {args.threshold:.0%})"
             )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced flush+reload and leave a self-describing artifact
+    directory: trace.jsonl (the event stream), trace.perfetto.json (load
+    it in ui.perfetto.dev or chrome://tracing), and manifest.json."""
+    from repro.analysis.runner import write_run_manifest
+    from repro.attacks.flush_reload import run_microbenchmark_attack
+    from repro.obs import JsonlSink, Tracer, read_events, write_chrome_trace
+
+    console = args.console
+    config = scaled_experiment_config(seed=args.seed, engine=args.engine)
+    if args.baseline:
+        config = config.baseline()
+    out_dir = Path(args.output_dir)
+    trace_path = out_dir / "trace.jsonl"
+    perfetto_path = out_dir / "trace.perfetto.json"
+    manifest_path = out_dir / "manifest.json"
+
+    sink = JsonlSink(trace_path)
+    tracer = Tracer(sink)
+    tracer.trace_all_accesses = args.all_accesses
+    outcome = run_microbenchmark_attack(
+        config,
+        shared_lines=args.lines,
+        tracer=tracer,
+        sample_every=args.sample_every,
+    )
+    tracer.close()
+    console.info(f"{sink.emitted} events")
+    write_chrome_trace(read_events(trace_path), perfetto_path)
+    manifest = write_run_manifest(
+        manifest_path,
+        command=["repro"] + args.argv,
+        config=config,
+        artifacts=[trace_path, perfetto_path],
+        extra={
+            "events": sink.emitted,
+            "probe_hits": outcome.probe_hits,
+            "probe_total": outcome.probe_total,
+        },
+    )
+    console.result(
+        f"reload hits: {outcome.probe_hits}/{outcome.probe_total} "
+        f"({'baseline' if args.baseline else 'TimeCache'}, {args.engine})"
+    )
+    for path in (trace_path, perfetto_path, manifest_path):
+        console.result(f"wrote {path}")
+    console.info(f"config sha256 {manifest.config_sha256[:12]}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import read_events, write_chrome_trace
+
+    console = args.console
+    events = list(read_events(args.trace))
+    if not events:
+        console.error(f"no events in {args.trace}")
+        return 1
+    by_kind = Counter(event.kind for event in events)
+    t_lo = min(event.ts for event in events)
+    t_hi = max(event.ts for event in events)
+    lines = [
+        f"{len(events)} events over {t_hi - t_lo} simulated cycles "
+        f"({args.trace})"
+    ]
+    for kind in sorted(by_kind):
+        lines.append(f"  {by_kind[kind]:>8} {kind}")
+    # pair phase.begin/end into spans (per context, LIFO for nesting)
+    open_spans: dict = {}
+    spans = []
+    for event in events:
+        key = (event.ctx, event.args.get("name"))
+        if event.kind == "phase.begin":
+            open_spans.setdefault(key, []).append(event.ts)
+        elif event.kind == "phase.end" and open_spans.get(key):
+            spans.append((event.args.get("name"), open_spans[key].pop(), event.ts))
+    if spans:
+        lines.append("phases:")
+        for name, start, end in spans:
+            lines.append(f"  {name:<12} [{start}, {end}]  {end - start} cycles")
+    console.result("\n".join(lines))
+    if args.perfetto:
+        write_chrome_trace(events, args.perfetto)
+        console.info(f"wrote {args.perfetto}")
     return 0
 
 
@@ -287,6 +388,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="instructions per simulated process/thread",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        default=False,
+        help="suppress progress output (artifacts and errors still print)",
+    )
+    # --quiet is also accepted after the subcommand; SUPPRESS keeps the
+    # global value when the per-command flag is absent.
+    quiet_parent = argparse.ArgumentParser(add_help=False)
+    quiet_parent.add_argument(
+        "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
     # Shared by every sweep-shaped command (anything embarrassingly
     # parallel); micro/rsa/compare/faults run single simulations.
     jobs_parent = argparse.ArgumentParser(add_help=False)
@@ -305,15 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
         "the struct-of-arrays engine (identical results, ~5x throughput)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("micro", help="Section VI-A1 microbenchmark")
-    sub.add_parser("rsa", help="Section VI-A2 RSA key extraction")
+    sub.add_parser(
+        "micro", help="Section VI-A1 microbenchmark", parents=[quiet_parent]
+    )
+    sub.add_parser(
+        "rsa", help="Section VI-A2 RSA key extraction", parents=[quiet_parent]
+    )
     for name, help_text in (
         ("table2", "Table II / Figure 7 SPEC sweep"),
         ("fig8", "Figure 8 first-access MPKI per level"),
         ("fig9", "Figure 9 PARSEC sweep"),
         ("fig10", "Figure 10 LLC sensitivity"),
     ):
-        p = sub.add_parser(name, help=help_text, parents=[jobs_parent])
+        p = sub.add_parser(
+            name, help=help_text, parents=[jobs_parent, quiet_parent]
+        )
         p.add_argument(
             "--pairs", type=int, default=0, help="limit the workload count"
         )
@@ -326,11 +446,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "from) this JSON file",
             )
     compare = sub.add_parser(
-        "compare", help="TimeCache vs partitioning on one pair"
+        "compare",
+        help="TimeCache vs partitioning on one pair",
+        parents=[quiet_parent],
     )
     compare.add_argument("--bench", default="perlbench")
     export = sub.add_parser(
-        "export", help="run a sweep, write JSON results", parents=[jobs_parent]
+        "export",
+        help="run a sweep, write JSON results",
+        parents=[jobs_parent, quiet_parent],
     )
     export.add_argument("--output", default="results.json")
     export.add_argument("--pairs", type=int, default=0)
@@ -342,7 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
         "this JSON file",
     )
     faults = sub.add_parser(
-        "faults", help="fault-injection campaign against the defense"
+        "faults",
+        help="fault-injection campaign against the defense",
+        parents=[quiet_parent],
     )
     faults.add_argument(
         "--injections",
@@ -358,7 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="perf benchmark harness, writes BENCH_<name>.json",
-        parents=[jobs_parent],
+        parents=[jobs_parent, quiet_parent],
     )
     bench.add_argument(
         "--quick", action="store_true", help="smaller workloads, fewer runs"
@@ -401,6 +527,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each workload under cProfile and write "
         "BENCH_profile_<name>.pstats instead of timing it",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="traced flush+reload: trace.jsonl + Perfetto file + manifest",
+        parents=[quiet_parent],
+    )
+    trace.add_argument(
+        "--output-dir",
+        default="trace_out",
+        help="directory for trace.jsonl / trace.perfetto.json / manifest.json",
+    )
+    trace.add_argument(
+        "--lines", type=int, default=64, help="shared lines to flush and probe"
+    )
+    trace.add_argument(
+        "--engine", choices=("object", "fast"), default="object"
+    )
+    trace.add_argument(
+        "--baseline",
+        action="store_true",
+        help="trace the undefended baseline instead of TimeCache",
+    )
+    trace.add_argument(
+        "--sample-every",
+        type=int,
+        default=20_000,
+        help="metrics.sample cadence in simulated cycles (0 disables)",
+    )
+    trace.add_argument(
+        "--all-accesses",
+        action="store_true",
+        help="emit an access.result event for every access (verbose)",
+    )
+    obs = sub.add_parser(
+        "obs", help="inspect observability artifacts", parents=[quiet_parent]
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="summarize a trace.jsonl event stream",
+        parents=[quiet_parent],
+    )
+    summarize.add_argument("trace", help="path to a trace.jsonl file")
+    summarize.add_argument(
+        "--perfetto",
+        metavar="OUT.json",
+        default=None,
+        help="also export a Chrome trace-event file",
+    )
     return parser
 
 
@@ -415,11 +589,15 @@ _COMMANDS = {
     "export": _cmd_export,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    args.console = Console(quiet=args.quiet)
+    args.argv = list(argv) if argv is not None else sys.argv[1:]
     return _COMMANDS[args.command](args)
 
 

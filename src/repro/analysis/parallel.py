@@ -46,12 +46,20 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SweepExecutionError
 from repro.common.rng import DeterministicRng
+from repro.obs.tracer import Tracer
 from repro.robustness.resilience import (
     Checkpoint,
     FailureRecord,
     SweepOutcome,
     run_resilient_jobs,
 )
+
+#: resilient-runner callback events mapped onto trace event kinds
+_SWEEP_EVENT_KINDS = {
+    "ok": "sweep.job_done",
+    "failed": "sweep.job_failed",
+    "resumed": "sweep.job_resumed",
+}
 
 
 def default_jobs() -> int:
@@ -108,6 +116,7 @@ class _Attempt:
     attempts: int = 1
     error_type: str = ""
     message: str = ""
+    duration_s: float = 0.0
 
 
 def _execute_job(
@@ -128,6 +137,7 @@ def _execute_job(
         pass
     error: Optional[BaseException] = None
     attempts = 0
+    started = time.perf_counter()
     for attempt in range(retries + 1):
         attempts = attempt + 1
         if attempt:
@@ -137,7 +147,13 @@ def _execute_job(
         except Exception as exc:  # noqa: BLE001 - mirrors the serial runner
             error = exc
             continue
-        return _Attempt(label=job.label, ok=True, result=result, attempts=attempts)
+        return _Attempt(
+            label=job.label,
+            ok=True,
+            result=result,
+            attempts=attempts,
+            duration_s=time.perf_counter() - started,
+        )
     assert error is not None
     return _Attempt(
         label=job.label,
@@ -145,6 +161,7 @@ def _execute_job(
         attempts=attempts,
         error_type=type(error).__name__,
         message=str(error),
+        duration_s=time.perf_counter() - started,
     )
 
 
@@ -171,6 +188,7 @@ class ParallelSweepExecutor:
         checkpoint: Optional[Checkpoint] = None,
         on_event: Optional[Callable[[str, str], None]] = None,
         base_seed: int = 0,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.retries = retries
@@ -178,10 +196,40 @@ class ParallelSweepExecutor:
         self.checkpoint = checkpoint
         self.on_event = on_event
         self.base_seed = base_seed
+        #: observability (repro.obs): the parent process emits
+        #: sweep.begin/job_done/job_failed/job_resumed/heartbeat/end so a
+        #: long sweep's progress is visible from its trace file.  Workers
+        #: never touch the tracer — only completions crossing back into
+        #: the parent do.
+        self.tracer = tracer
+        self._total = 0
+        self._completed = 0
+        self._failed = 0
 
     def _notify(self, label: str, event: str) -> None:
         if self.on_event is not None:
             self.on_event(label, event)
+
+    def _emit(self, kind: str, **args: object) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(kind, src="sweep", args=args)
+
+    def _job_event(self, label: str, event: str, **extra: object) -> None:
+        """Fan one job completion out to the callback and the tracer."""
+        self._notify(label, event)
+        kind = _SWEEP_EVENT_KINDS.get(event)
+        if kind is None:
+            return
+        self._completed += 1
+        if event == "failed":
+            self._failed += 1
+        self._emit(kind, label=label, **extra)
+        self._emit(
+            "sweep.heartbeat",
+            done=self._completed,
+            total=self._total,
+            failed=self._failed,
+        )
 
     def run(self, sweep_jobs: Sequence[SweepJob]) -> SweepOutcome:
         """Run every job; never raises for job failures (they become
@@ -189,15 +237,27 @@ class ParallelSweepExecutor:
         labels = [job.label for job in sweep_jobs]
         if len(set(labels)) != len(labels):
             raise ValueError("sweep job labels must be unique")
+        self._total = len(sweep_jobs)
+        self._completed = 0
+        self._failed = 0
+        self._emit("sweep.begin", n_jobs=len(sweep_jobs), workers=self.jobs)
         if self.jobs == 1:
-            return run_resilient_jobs(
+            outcome = run_resilient_jobs(
                 [(job.label, job.thunk()) for job in sweep_jobs],
                 retries=self.retries,
                 backoff_s=self.backoff_s,
                 checkpoint=self.checkpoint,
-                on_event=self.on_event,
+                on_event=self._job_event,
             )
-        return self._run_pool(sweep_jobs)
+        else:
+            outcome = self._run_pool(sweep_jobs)
+        self._emit(
+            "sweep.end",
+            ok=len(outcome.results),
+            failed=len(outcome.failures),
+            resumed=len(outcome.resumed),
+        )
+        return outcome
 
     def _run_pool(self, sweep_jobs: Sequence[SweepJob]) -> SweepOutcome:
         checkpoint = self.checkpoint
@@ -241,11 +301,22 @@ class ParallelSweepExecutor:
                     if attempt.ok:
                         if checkpoint is not None:
                             checkpoint.record_success(attempt.label, attempt.result)
-                        self._notify(attempt.label, "ok")
+                        self._job_event(
+                            attempt.label,
+                            "ok",
+                            attempts=attempt.attempts,
+                            duration_s=round(attempt.duration_s, 6),
+                        )
                     else:
                         if checkpoint is not None:
                             checkpoint.record_failure(_attempt_failure(attempt))
-                        self._notify(attempt.label, "failed")
+                        self._job_event(
+                            attempt.label,
+                            "failed",
+                            attempts=attempt.attempts,
+                            error_type=attempt.error_type,
+                            duration_s=round(attempt.duration_s, 6),
+                        )
         # Ordered reassembly: submission order, exactly like the serial
         # runner's outcome (resumed labels included).
         outcome = SweepOutcome()
@@ -253,7 +324,7 @@ class ParallelSweepExecutor:
             if job.label in resumed:
                 outcome.results[job.label] = resumed[job.label]
                 outcome.resumed.append(job.label)
-                self._notify(job.label, "resumed")
+                self._job_event(job.label, "resumed")
                 continue
             attempt = attempts[job.label]
             if attempt.ok:

@@ -304,3 +304,32 @@ def single_config(
     return scaled_experiment_config(
         num_cores=num_cores, llc_kib=llc_kib, engine=engine
     )
+
+
+def write_run_manifest(
+    path: Union[str, Path],
+    *,
+    command: Sequence[str],
+    config: SimConfig,
+    seed: Optional[int] = None,
+    artifacts: Sequence[Union[str, Path]] = (),
+    extra: Optional[Dict[str, object]] = None,
+):
+    """Write a :class:`~repro.obs.manifest.RunManifest` for one run.
+
+    The CLI calls this after every artifact-producing command so each
+    output directory is self-describing: the exact config (and its
+    hash), the seed, engine, git state, and a checksummed index of the
+    files the run produced.  Returns the manifest object.
+    """
+    from repro.obs.manifest import RunManifest
+
+    manifest = RunManifest.build(
+        command=list(command),
+        config=config,
+        seed=seed,
+        artifacts=artifacts,
+        extra=extra,
+    )
+    manifest.write(path)
+    return manifest

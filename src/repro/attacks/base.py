@@ -12,11 +12,13 @@ to pick its threshold.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import ContextManager, List, Optional
 
 from repro.common.config import SimConfig
 from repro.cpu.program import Program
+from repro.obs.tracer import Tracer
 from repro.os.kernel import Kernel
 from repro.os.process import Process, Task
 from repro.os.vm import Segment
@@ -79,9 +81,25 @@ class SharedArrayScenario:
         shared_lines: int = 256,
         attacker_ctx: int = 0,
         victim_ctx: int = 0,
+        tracer: Optional[Tracer] = None,
+        sample_every: int = 0,
     ) -> None:
         self.config = config
         self.kernel = Kernel(config)
+        #: optional observability: an enabled tracer hooks the kernel's
+        #: system and scheduler, and phase() emits attack-phase spans;
+        #: ``sample_every`` > 0 additionally attaches a MetricsSampler at
+        #: that cadence (simulated cycles), emitting metrics.sample events.
+        self.tracer = tracer
+        self.sampler = None
+        if tracer is not None and tracer.enabled:
+            tracer.attach_kernel(self.kernel)
+            if sample_every > 0:
+                from repro.obs.sampler import MetricsSampler
+
+                self.sampler = MetricsSampler(
+                    self.kernel.system, sample_every, tracer
+                ).attach()
         self.line_bytes = config.hierarchy.line_bytes
         self.shared_lines = shared_lines
         self.attacker_ctx = attacker_ctx
@@ -130,6 +148,18 @@ class SharedArrayScenario:
             max_steps=max_steps,
             stop_when=lambda k: k.task_done(self.victim_task),
         )
+
+    def phase(self, name: str) -> ContextManager[None]:
+        """An attack-phase span (flush, wait, probe) in simulated time.
+
+        Use inside a program generator: the begin/end events are emitted
+        as the block is entered and left during stepping, so they carry
+        the simulated timestamps of the phase boundaries.  A no-op
+        context when no (enabled) tracer is attached.
+        """
+        if self.tracer is not None and self.tracer.enabled:
+            return self.tracer.span(name, src="attack", ctx=self.attacker_ctx)
+        return nullcontext()
 
     def classify(self, latency: int) -> bool:
         """True when the latency reads as a cache hit."""

@@ -16,13 +16,14 @@ Two entry points:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from repro.attacks.base import AttackOutcome, SharedArrayScenario
 from repro.attacks.victim import secret_indexed_victim, writer_victim
 from repro.common.config import SimConfig
 from repro.cpu.isa import Exit, Fence, Flush, Load, Rdtsc, SleepOp
 from repro.cpu.program import Program, ProgramGen
+from repro.obs.tracer import Tracer
 
 
 def _timed_probe(vaddr: int, latencies: List[int]) -> ProgramGen:
@@ -41,21 +42,32 @@ def run_microbenchmark_attack(
     shared_lines: int = 256,
     victim_repetitions: int = 4,
     sleep_cycles: int = 200_000,
+    tracer: Optional[Tracer] = None,
+    sample_every: int = 0,
 ) -> AttackOutcome:
     """The Section VI-A1 parent/child microbenchmark.
 
     Returns the parent's probe outcome; ``AttackOutcome.probe_hits`` is
-    the number of successful (hit-latency) reloads.
+    the number of successful (hit-latency) reloads.  With a ``tracer``
+    the flush/wait/probe phases are emitted as simulated-time spans.
     """
-    scenario = SharedArrayScenario(config, shared_lines=shared_lines)
+    scenario = SharedArrayScenario(
+        config,
+        shared_lines=shared_lines,
+        tracer=tracer,
+        sample_every=sample_every,
+    )
     latencies: List[int] = []
 
     def parent_program() -> ProgramGen:
-        for i in range(shared_lines):
-            yield Flush(scenario.line_vaddr(i))
-        yield SleepOp(sleep_cycles)
-        for i in range(shared_lines):
-            yield from _timed_probe(scenario.line_vaddr(i), latencies)
+        with scenario.phase("flush"):
+            for i in range(shared_lines):
+                yield Flush(scenario.line_vaddr(i))
+        with scenario.phase("wait"):
+            yield SleepOp(sleep_cycles)
+        with scenario.phase("probe"):
+            for i in range(shared_lines):
+                yield from _timed_probe(scenario.line_vaddr(i), latencies)
         yield Exit()
 
     victim = writer_victim(
@@ -75,6 +87,8 @@ def run_spy_flush_reload(
     shared_lines: int = 64,
     rounds: int = 6,
     wait_cycles: int = 30_000,
+    tracer: Optional[Tracer] = None,
+    sample_every: int = 0,
 ) -> AttackOutcome:
     """A spy recovering the victim's secret line set.
 
@@ -84,20 +98,28 @@ def run_spy_flush_reload(
     baseline it equals ``set(secret_indices)``, under TimeCache it must
     be empty.
     """
-    scenario = SharedArrayScenario(config, shared_lines=shared_lines)
+    scenario = SharedArrayScenario(
+        config,
+        shared_lines=shared_lines,
+        tracer=tracer,
+        sample_every=sample_every,
+    )
     latencies: List[int] = []
     recovered: Set[int] = set()
 
     def spy() -> ProgramGen:
         for _ in range(rounds):
-            for i in range(shared_lines):
-                yield Flush(scenario.line_vaddr(i))
-            yield SleepOp(wait_cycles)
-            for i in range(shared_lines):
-                before = len(latencies)
-                yield from _timed_probe(scenario.line_vaddr(i), latencies)
-                if scenario.classify(latencies[before]):
-                    recovered.add(i)
+            with scenario.phase("flush"):
+                for i in range(shared_lines):
+                    yield Flush(scenario.line_vaddr(i))
+            with scenario.phase("wait"):
+                yield SleepOp(wait_cycles)
+            with scenario.phase("probe"):
+                for i in range(shared_lines):
+                    before = len(latencies)
+                    yield from _timed_probe(scenario.line_vaddr(i), latencies)
+                    if scenario.classify(latencies[before]):
+                        recovered.add(i)
         yield Exit()
 
     victim = secret_indexed_victim(

@@ -65,6 +65,11 @@ class TimeCacheSystem:
         self.switch_listeners: List[
             Callable[[Optional[int], int, int, int], None]
         ] = []
+        #: observability hook (repro.obs): a Tracer attached via
+        #: ``Tracer.attach`` sets itself here.  Unlike switch_listeners it
+        #: receives the computed :class:`SwitchCost`, so the event stream
+        #: carries DMA/comparator cycles and the rollover flash-clear.
+        self.obs_tracer = None
 
     # ------------------------------------------------------------------
     # Memory operations (thin passthroughs with the shared clock)
@@ -125,6 +130,10 @@ class TimeCacheSystem:
             )
         for listener in self.switch_listeners:
             listener(outgoing_task, incoming_task, ctx, when)
+        if self.obs_tracer is not None:
+            self.obs_tracer.on_context_switch(
+                outgoing_task, incoming_task, ctx, when, cost
+            )
         return cost
 
     def _partition_switch(

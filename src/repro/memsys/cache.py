@@ -108,16 +108,59 @@ class Cache:
         #: misses — reported separately so scaled (short) runs can report
         #: demand MPKI comparably to the paper's 1e9-instruction runs
         self._ever_filled: set = set()
-        #: observation hook (repro.robustness): called after each metadata
-        #: transition as ``(event, set_idx, way, ctx)`` where event is one
-        #: of "fill", "evict", "invalidate", "sbit_set"; ctx is the global
-        #: hardware context for fill/sbit_set and -1 otherwise.  The
-        #: invariant checker mirrors s-bit entitlement from these events.
+        #: observation hook (repro.robustness, repro.obs): called after
+        #: each metadata transition as ``(event, set_idx, way, ctx)`` where
+        #: event is one of "fill", "evict", "invalidate", "sbit_set"; ctx
+        #: is the global hardware context for fill/sbit_set and -1
+        #: otherwise.  The invariant checker mirrors s-bit entitlement
+        #: from these events; the obs tracer turns them into its event
+        #: stream.  Direct assignment (single observer) still works;
+        #: ``add_event_listener`` composes several without clobbering.
         self.event_listener: Optional[Callable[[str, int, int, int], None]] = None
+        self._event_listeners: List[Callable[[str, int, int, int], None]] = []
 
     def _notify(self, event: str, set_idx: int, way: int, ctx: int = -1) -> None:
         if self.event_listener is not None:
             self.event_listener(event, set_idx, way, ctx)
+
+    def add_event_listener(
+        self, listener: Callable[[str, int, int, int], None]
+    ) -> None:
+        """Register a listener without displacing existing observers.
+
+        A single listener is installed directly (the hot paths keep their
+        one-slot ``is None`` check); several are fanned out through one
+        dispatcher.  A listener installed by direct ``event_listener``
+        assignment before the first ``add_event_listener`` call is
+        adopted into the chain.
+        """
+        if self.event_listener is not None and not self._event_listeners:
+            self._event_listeners.append(self.event_listener)
+        self._event_listeners.append(listener)
+        self._rebind_listeners()
+
+    def remove_event_listener(
+        self, listener: Callable[[str, int, int, int], None]
+    ) -> None:
+        self._event_listeners.remove(listener)
+        self._rebind_listeners()
+
+    def _rebind_listeners(self) -> None:
+        listeners = self._event_listeners
+        if not listeners:
+            self.event_listener = None
+        elif len(listeners) == 1:
+            self.event_listener = listeners[0]
+        else:
+            chain = tuple(listeners)
+
+            def fanout(
+                event: str, set_idx: int, way: int, ctx: int, _chain=chain
+            ) -> None:
+                for fn in _chain:
+                    fn(event, set_idx, way, ctx)
+
+            self.event_listener = fanout
 
     # ------------------------------------------------------------------
     # Addressing helpers

@@ -265,6 +265,7 @@ class FastCache:
         "_set_rngs",
         "_ever_filled",
         "event_listener",
+        "_event_listeners",
         "stats",
         "n_accesses",
         "n_hits",
@@ -371,6 +372,7 @@ class FastCache:
             self._set_rngs = []
         self._ever_filled: set = set()
         self.event_listener: Optional[Callable[[str, int, int, int], None]] = None
+        self._event_listeners: List[Callable[[str, int, int, int], None]] = []
         self.stats = FastStats(self)
         self.n_accesses = 0
         self.n_hits = 0
@@ -444,6 +446,41 @@ class FastCache:
         self.sbits_mv[idx] = current | bit
         if self.event_listener is not None:
             self.event_listener("sbit_set", set_idx, way, ctx)
+
+    def add_event_listener(
+        self, listener: Callable[[str, int, int, int], None]
+    ) -> None:
+        """Register a listener without displacing existing observers (the
+        same chaining contract as the object engine's Cache).  Note that
+        any non-None ``event_listener`` makes the hot paths fall back to
+        the event-emitting slow routes — tracing is honest but costs."""
+        if self.event_listener is not None and not self._event_listeners:
+            self._event_listeners.append(self.event_listener)
+        self._event_listeners.append(listener)
+        self._rebind_listeners()
+
+    def remove_event_listener(
+        self, listener: Callable[[str, int, int, int], None]
+    ) -> None:
+        self._event_listeners.remove(listener)
+        self._rebind_listeners()
+
+    def _rebind_listeners(self) -> None:
+        listeners = self._event_listeners
+        if not listeners:
+            self.event_listener = None
+        elif len(listeners) == 1:
+            self.event_listener = listeners[0]
+        else:
+            chain = tuple(listeners)
+
+            def fanout(
+                event: str, set_idx: int, way: int, ctx: int, _chain=chain
+            ) -> None:
+                for fn in _chain:
+                    fn(event, set_idx, way, ctx)
+
+            self.event_listener = fanout
 
     def _victim_way(self, set_idx: int) -> int:
         """Full set: pick the way to evict, mirroring the policies'

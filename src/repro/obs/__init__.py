@@ -1,0 +1,62 @@
+"""Structured observability for the simulator (events, sinks, manifests).
+
+The paper's security argument lives in timing *dynamics* — first-access
+misses, s-bit flash-clears at context switches, attack-phase latencies —
+but aggregate end-of-run counters flatten all of that away.  This package
+adds a telemetry layer that can watch both engines and the sweep fleet
+without perturbing the hot paths it observes:
+
+* :mod:`~repro.obs.events`   — the typed simulator-time event record and
+  its JSONL wire format;
+* :mod:`~repro.obs.sinks`    — where events go: a JSONL file, a bounded
+  in-memory ring buffer, or several sinks at once;
+* :mod:`~repro.obs.tracer`   — the emission guard and the hook wiring
+  onto a :class:`~repro.core.timecache.TimeCacheSystem` or a
+  :class:`~repro.os.kernel.Kernel`.  A disabled tracer attaches nothing,
+  so the hot paths keep their pre-existing ``listener is None`` branch
+  and tracing costs literally zero when off;
+* :mod:`~repro.obs.sampler`  — periodic :class:`StatGroup` snapshots as
+  a timeseries (windowed MPKA, first-access-miss rate over time);
+* :mod:`~repro.obs.perfetto` — Chrome trace-event / Perfetto export so
+  attack timelines render visually in ``chrome://tracing``;
+* :mod:`~repro.obs.manifest` — per-run manifests: config hash, seed,
+  engine, git SHA, machine metadata, and an artifact index;
+* :mod:`~repro.obs.console`  — the CLI's quiet-aware output helper.
+
+See docs/internals.md §11 for the event schema and the safety rules for
+enabling tracing during benchmarks.
+"""
+
+from repro.obs.console import Console
+from repro.obs.events import (
+    EVENT_KINDS,
+    OBS_SCHEMA,
+    TraceEvent,
+    parse_event,
+    read_events,
+)
+from repro.obs.manifest import RunManifest, config_fingerprint, load_manifest
+from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
+from repro.obs.sampler import MetricsSample, MetricsSampler
+from repro.obs.sinks import JsonlSink, RingBufferSink, TeeSink
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Console",
+    "EVENT_KINDS",
+    "JsonlSink",
+    "MetricsSample",
+    "MetricsSampler",
+    "OBS_SCHEMA",
+    "RingBufferSink",
+    "RunManifest",
+    "TeeSink",
+    "TraceEvent",
+    "Tracer",
+    "config_fingerprint",
+    "load_manifest",
+    "parse_event",
+    "read_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

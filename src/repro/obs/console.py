@@ -1,0 +1,40 @@
+"""Quiet-aware console output for the CLI.
+
+Three message classes, so ``--quiet`` composes with machine-readable
+output instead of fighting it:
+
+* :meth:`Console.info`   — progress and bookkeeping ("wrote X",
+  "resumed N experiments"); suppressed by ``--quiet``;
+* :meth:`Console.result` — the artifact itself (tables, figures,
+  summaries); always printed to stdout;
+* :meth:`Console.error`  — failures; always printed to stderr.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+class Console:
+    """The CLI's output helper; one instance per invocation."""
+
+    def __init__(
+        self,
+        quiet: bool = False,
+        out: Optional[IO[str]] = None,
+        err: Optional[IO[str]] = None,
+    ) -> None:
+        self.quiet = quiet
+        self.out = out if out is not None else sys.stdout
+        self.err = err if err is not None else sys.stderr
+
+    def info(self, message: str = "") -> None:
+        if not self.quiet:
+            print(message, file=self.out)
+
+    def result(self, message: str = "") -> None:
+        print(message, file=self.out)
+
+    def error(self, message: str) -> None:
+        print(message, file=self.err)

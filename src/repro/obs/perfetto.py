@@ -1,0 +1,114 @@
+"""Chrome trace-event (``chrome://tracing`` / Perfetto) export.
+
+Maps a stream of :class:`~repro.obs.events.TraceEvent` records onto the
+trace-event JSON format (the ``traceEvents`` array form), so an attack
+timeline renders visually:
+
+* ``phase.begin`` / ``phase.end``  -> duration events (``B``/``E``) —
+  the attack phases appear as nested spans;
+* ``metrics.sample``               -> counter events (``C``) — windowed
+  MPKA and first-access rate render as counter tracks;
+* everything else                  -> instant events (``i``).
+
+Simulated cycles are written 1:1 as trace microseconds (the format has
+no "cycles" unit); absolute durations therefore read as cycle counts.
+One process (pid 1) models the simulated machine; each hardware context
+becomes a thread, with tid 0 doubling as the "no context" track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.obs.events import TraceEvent
+
+_SIM_PID = 1
+
+
+def _tid(event: TraceEvent) -> int:
+    return event.ctx if event.ctx >= 0 else 0
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict:
+    """Build the ``{"traceEvents": [...]}`` payload."""
+    trace: List[Dict] = [
+        {
+            "ph": "M",
+            "pid": _SIM_PID,
+            "name": "process_name",
+            "args": {"name": "timecache-sim"},
+        }
+    ]
+    tids_seen: set = set()
+    for event in events:
+        tid = _tid(event)
+        tids_seen.add(tid)
+        base = {"pid": _SIM_PID, "tid": tid, "ts": event.ts}
+        if event.kind == "phase.begin":
+            trace.append(
+                {
+                    **base,
+                    "ph": "B",
+                    "cat": event.src,
+                    "name": str(event.args.get("name", "phase")),
+                }
+            )
+        elif event.kind == "phase.end":
+            trace.append(
+                {
+                    **base,
+                    "ph": "E",
+                    "cat": event.src,
+                    "name": str(event.args.get("name", "phase")),
+                }
+            )
+        elif event.kind == "metrics.sample":
+            numeric = {
+                k: v
+                for k, v in event.args.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+            trace.append(
+                {
+                    **base,
+                    "ph": "C",
+                    "cat": event.src,
+                    "name": "metrics",
+                    "args": numeric,
+                }
+            )
+        else:
+            trace.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": "t",
+                    "cat": event.src,
+                    "name": event.kind,
+                    "args": dict(event.args),
+                }
+            )
+    for tid in sorted(tids_seen):
+        trace.append(
+            {
+                "ph": "M",
+                "pid": _SIM_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"hw-ctx {tid}"},
+            }
+        )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent], path: Union[str, Path]
+) -> Path:
+    """Write the payload; the file loads directly in chrome://tracing."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(events), handle, sort_keys=True)
+    return path

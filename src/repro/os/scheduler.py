@@ -11,7 +11,7 @@ exits.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.common.errors import SchedulerError
 from repro.os.process import Task, TaskStatus
@@ -33,6 +33,11 @@ class RoundRobinScheduler:
         self._sleeping: Dict[int, List[Task]] = {
             ctx: [] for ctx in range(num_contexts)
         }
+        #: observability hook (repro.obs): called after each queue
+        #: transition as ``(event, tid, ctx, local_time)`` with event one
+        #: of "admit", "dispatch", "requeue", "sleep", "wake"; the time is
+        #: -1 where the scheduler has no clock (admit/requeue).
+        self.event_hook: Optional[Callable[[str, int, int, int], None]] = None
 
     # ------------------------------------------------------------------
     def admit(self, task: Task, ctx: Optional[int] = None) -> int:
@@ -46,6 +51,8 @@ class RoundRobinScheduler:
             raise SchedulerError(f"context {target} out of range")
         task.status = TaskStatus.READY
         self._queues[target].append(task)
+        if self.event_hook is not None:
+            self.event_hook("admit", task.tid, target, -1)
         return target
 
     def next_task(self, ctx: int, local_time: int) -> Optional[Task]:
@@ -57,6 +64,8 @@ class RoundRobinScheduler:
             if task.status is TaskStatus.EXITED:
                 continue
             task.status = TaskStatus.RUNNING
+            if self.event_hook is not None:
+                self.event_hook("dispatch", task.tid, ctx, local_time)
             return task
         return None
 
@@ -66,11 +75,15 @@ class RoundRobinScheduler:
             return
         task.status = TaskStatus.READY
         self._queues[ctx].append(task)
+        if self.event_hook is not None:
+            self.event_hook("requeue", task.tid, ctx, -1)
 
     def put_to_sleep(self, task: Task, ctx: int, wake_at: int) -> None:
         task.status = TaskStatus.SLEEPING
         task.wake_at = wake_at
         self._sleeping[ctx].append(task)
+        if self.event_hook is not None:
+            self.event_hook("sleep", task.tid, ctx, wake_at)
 
     def _wake_sleepers(self, ctx: int, local_time: int) -> None:
         still_asleep: List[Task] = []
@@ -79,6 +92,8 @@ class RoundRobinScheduler:
                 task.status = TaskStatus.READY
                 task.wake_at = None
                 self._queues[ctx].append(task)
+                if self.event_hook is not None:
+                    self.event_hook("wake", task.tid, ctx, local_time)
             else:
                 still_asleep.append(task)
         self._sleeping[ctx] = still_asleep

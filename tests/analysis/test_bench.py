@@ -239,7 +239,7 @@ class TestBenchCli:
             ]
         )
         assert rc == 1
-        assert "REGRESSION" in capsys.readouterr().out
+        assert "REGRESSION" in capsys.readouterr().err
 
     def test_warn_only_downgrades_regression(self, tmp_path, capsys):
         baseline = tmp_path / "BASELINE.json"
@@ -260,8 +260,9 @@ class TestBenchCli:
             ]
         )
         assert rc == 0
-        out = capsys.readouterr().out
-        assert "REGRESSION" in out and "warn-only" in out
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "warn-only" in captured.out
 
     def test_write_baseline_flag(self, tmp_path):
         target = tmp_path / "NEW_BASELINE.json"

@@ -106,9 +106,22 @@ SCENARIOS = {
 }
 
 
-def _run_trace(config, seed, contexts, switches, n=500, pool=192):
-    """Drive one system with a seeded random trace; return observables."""
+def _run_trace(config, seed, contexts, switches, n=500, pool=192, traced=False):
+    """Drive one system with a seeded random trace; return observables.
+
+    With ``traced`` an obs Tracer is attached for the whole trace and the
+    emitted event stream comes back as the fourth observable — on the fast
+    engine the listener forces every access through the event-emitting
+    slow routes, so this also fuzzes those against the object model.
+    """
     system = TimeCacheSystem(config)
+    tracer = ring = None
+    if traced:
+        from repro.obs import RingBufferSink, Tracer
+
+        ring = RingBufferSink()
+        tracer = Tracer(ring)
+        tracer.attach(system)
     rng = DeterministicRng(seed * 7919 + 13)
     events = []
     now = 0
@@ -144,7 +157,15 @@ def _run_trace(config, seed, contexts, switches, n=500, pool=192):
             cache.valid.tolist(),
             sorted(cache.resident_line_addrs()),
         )
-    return events, system.stats_snapshot(), final
+    trace = None
+    if traced:
+        tracer.detach()
+        trace = [
+            (e.kind, e.src, e.ctx, e.ts, tuple(sorted(e.args.items())))
+            for e in ring.events
+        ]
+        assert ring.dropped == 0
+    return events, system.stats_snapshot(), final, trace
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
@@ -157,6 +178,35 @@ def test_engines_agree(scenario, seed):
     fast = _run_trace(
         make_config("fast", seed), seed, contexts, switches
     )
+    assert obj[0] == fast[0], f"{scenario}: access/switch streams diverge"
+    assert obj[1] == fast[1], f"{scenario}: stats snapshots diverge"
+    assert obj[2] == fast[2], f"{scenario}: final cache state diverges"
+
+
+#: scenarios re-fuzzed with a tracer attached (subset: traced runs take the
+#: fast engine's slow routes, so the cheap scenarios cover the event paths)
+TRACED_SCENARIOS = (
+    "baseline_off",
+    "tc_on_switches",
+    "two_cores_stores",
+    "random_max_sharers",
+    "narrow_timestamp_rollover",
+)
+
+
+@pytest.mark.parametrize("scenario", TRACED_SCENARIOS)
+@pytest.mark.parametrize("seed", range(5))
+def test_engines_emit_identical_event_streams(scenario, seed):
+    """Both engines must produce the *same trace*, event for event —
+    kind, source cache, context, timestamp, and payload, in order."""
+    make_config, contexts, switches = SCENARIOS[scenario]
+    obj = _run_trace(
+        make_config("object", seed), seed, contexts, switches, traced=True
+    )
+    fast = _run_trace(
+        make_config("fast", seed), seed, contexts, switches, traced=True
+    )
+    assert obj[3] == fast[3], f"{scenario}: trace event streams diverge"
     assert obj[0] == fast[0], f"{scenario}: access/switch streams diverge"
     assert obj[1] == fast[1], f"{scenario}: stats snapshots diverge"
     assert obj[2] == fast[2], f"{scenario}: final cache state diverges"

@@ -1,0 +1,30 @@
+"""The tracing-overhead benchmark and its <5% disabled-overhead gate."""
+
+from repro.analysis.bench import (
+    BENCHMARKS,
+    ENGINE_AWARE,
+    bench_hierarchy_access_traced,
+)
+
+#: the acceptance bound: a constructed-but-disabled tracer must not
+#: slow the raw-access hot path by 5% or more
+DISABLED_OVERHEAD_BOUND = 0.05
+
+
+def test_traced_bench_is_registered():
+    assert BENCHMARKS["hierarchy_access_traced"] is bench_hierarchy_access_traced
+    assert "hierarchy_access_traced" in ENGINE_AWARE
+
+
+def test_disabled_tracing_overhead_under_five_percent():
+    result = bench_hierarchy_access_traced(quick=True)
+    assert result.skipped is None
+    assert len(result.runs) == 3
+    # min-over-min estimator: robust to one noisy run in either arm
+    assert result.extra["overhead_disabled"] < DISABLED_OVERHEAD_BOUND, (
+        "a disabled tracer must leave the hot path untouched; measured "
+        f"{result.extra['overhead_disabled']:.1%}"
+    )
+    # the enabled arm actually traced something
+    assert result.extra["events"] > 0
+    assert result.extra["enabled_median_s"] > 0

@@ -1,0 +1,117 @@
+"""The `repro trace` / `repro obs summarize` commands and --quiet."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.obs import EVENT_KINDS, Console, load_manifest, read_events
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace_cli")
+    rc = main(
+        ["trace", "--output-dir", str(out), "--lines", "12",
+         "--sample-every", "2000"]
+    )
+    assert rc == 0
+    return out
+
+
+def test_trace_writes_jsonl_stream(trace_dir):
+    events = list(read_events(trace_dir / "trace.jsonl"))
+    assert events
+    kinds = {e.kind for e in events}
+    assert kinds <= EVENT_KINDS
+    # the defining beats of a traced flush+reload
+    for expected in ("phase.begin", "cache.fill", "access.first_miss",
+                     "ctx.switch", "metrics.sample"):
+        assert expected in kinds, f"missing {expected}"
+
+
+def test_trace_writes_loadable_perfetto_file(trace_dir):
+    with open(trace_dir / "trace.perfetto.json") as handle:
+        payload = json.load(handle)
+    trace = payload["traceEvents"]
+    assert [e["name"] for e in trace if e["ph"] == "B"] == [
+        "flush", "wait", "probe"
+    ]
+    assert any(e["ph"] == "C" for e in trace)  # metrics counter track
+
+
+def test_trace_manifest_indexes_artifacts(trace_dir):
+    payload = load_manifest(trace_dir / "manifest.json")
+    names = {a["name"] for a in payload["artifacts"]}
+    assert names == {"trace.jsonl", "trace.perfetto.json"}
+    assert payload["command"][:2] == ["repro", "trace"]
+    assert payload["extra"]["probe_hits"] == 0  # TimeCache defends
+    assert payload["extra"]["events"] == len(
+        list(read_events(trace_dir / "trace.jsonl"))
+    )
+    assert all(len(a["sha256"]) == 64 for a in payload["artifacts"])
+
+
+def test_obs_summarize(trace_dir, capsys):
+    rc = main(["obs", "summarize", str(trace_dir / "trace.jsonl")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "events over" in out
+    assert "cache.fill" in out
+    assert "phases:" in out
+    assert "probe" in out
+
+
+def test_obs_summarize_exports_perfetto(trace_dir, tmp_path, capsys):
+    target = tmp_path / "exported.json"
+    rc = main(
+        ["obs", "summarize", str(trace_dir / "trace.jsonl"),
+         "--perfetto", str(target)]
+    )
+    assert rc == 0
+    with open(target) as handle:
+        assert json.load(handle)["traceEvents"]
+
+
+def test_obs_summarize_empty_trace_fails(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    rc = main(["obs", "summarize", str(empty)])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "no events" in captured.err
+
+
+def test_quiet_suppresses_progress_not_artifacts(tmp_path, capsys):
+    out = tmp_path / "quiet_trace"
+    rc = main(
+        ["--quiet", "trace", "--output-dir", str(out), "--lines", "4",
+         "--sample-every", "0"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "reload hits" in captured.out       # the artifact line stays
+    assert "config sha256" not in captured.out  # progress chatter goes
+    # the flag is also accepted after the subcommand
+    rc = main(["obs", "summarize", str(out / "trace.jsonl"), "--quiet"])
+    assert rc == 0
+
+
+def test_console_routing(capsys):
+    console = Console()
+    console.info("progress")
+    console.result("artifact")
+    console.error("bad")
+    captured = capsys.readouterr()
+    assert "progress" in captured.out
+    assert "artifact" in captured.out
+    assert "bad" in captured.err
+
+    quiet = Console(quiet=True)
+    quiet.info("progress")
+    quiet.result("artifact")
+    quiet.error("bad")
+    captured = capsys.readouterr()
+    assert "progress" not in captured.out
+    assert "artifact" in captured.out
+    assert "bad" in captured.err

@@ -1,0 +1,57 @@
+"""Event record wire-format round trips."""
+
+import json
+
+import pytest
+
+from repro.obs import EVENT_KINDS, TraceEvent, parse_event, read_events
+
+
+def test_event_json_round_trip():
+    event = TraceEvent(
+        kind="cache.fill",
+        ts=1234,
+        src="L1D0",
+        ctx=1,
+        seq=7,
+        args={"set": 3, "way": 2},
+    )
+    assert parse_event(event.to_json_line()) == event
+
+
+def test_json_line_is_canonical():
+    """Sorted keys, compact separators — traces are byte-reproducible."""
+    line = TraceEvent(kind="phase.begin", ts=0, args={"name": "probe"}).to_json_line()
+    payload = json.loads(line)
+    assert line == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    assert "\n" not in line
+
+
+def test_from_dict_defaults():
+    event = TraceEvent.from_dict({"kind": "ctx.switch", "ts": 5})
+    assert event.src == "sim"
+    assert event.ctx == -1
+    assert event.seq == 0
+    assert event.args == {}
+
+
+def test_read_events_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    first = TraceEvent(kind="sched.dispatch", ts=1, args={"task": 0})
+    second = TraceEvent(kind="sched.sleep", ts=9, args={"task": 0})
+    path.write_text(
+        first.to_json_line() + "\n\n" + second.to_json_line() + "\n"
+    )
+    assert list(read_events(path)) == [first, second]
+
+
+def test_event_kinds_are_namespaced():
+    assert EVENT_KINDS  # non-empty
+    for kind in EVENT_KINDS:
+        layer, _, name = kind.partition(".")
+        assert layer and name, f"kind {kind!r} is not layer.name shaped"
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(json.JSONDecodeError):
+        parse_event("not json")

@@ -1,0 +1,68 @@
+"""Metrics sampler: cadence, windows, derived rates."""
+
+import pytest
+
+from repro.common.config import scaled_experiment_config
+from repro.core import TimeCacheSystem
+from repro.obs import MetricsSampler, RingBufferSink, Tracer
+
+
+def _drive(system, accesses, stride_cycles):
+    now = 0
+    for i in range(accesses):
+        system.load(0, 0x10000 + (i % 64) * 64, now=now)
+        now += stride_cycles
+    return now
+
+
+def test_sampler_rejects_bad_cadence():
+    system = TimeCacheSystem(scaled_experiment_config())
+    with pytest.raises(ValueError):
+        MetricsSampler(system, every_cycles=0)
+
+
+def test_sampler_cadence_and_windows():
+    system = TimeCacheSystem(scaled_experiment_config())
+    sampler = MetricsSampler(system, every_cycles=1_000).attach()
+    _drive(system, accesses=100, stride_cycles=100)  # 10k cycles total
+    assert 8 <= len(sampler.samples) <= 11
+    ts = [s.ts for s in sampler.samples]
+    assert ts == sorted(ts)
+    total = sum(s.window["accesses"] for s in sampler.samples)
+    assert 0 < total <= 100
+    first = sampler.samples[0]
+    for key in ("accesses", "llc_misses", "misses", "first_access_misses",
+                "fills", "evictions"):
+        assert key in first.window
+    for key in ("llc_mpka", "first_access_rate"):
+        assert key in first.derived
+    # the cold window is all fills (first-access misses need a context
+    # switch first; the tracer test covers those)
+    assert first.window["fills"] > 0
+    assert first.derived["first_access_rate"] >= 0
+    sampler.detach()
+    n = len(sampler.samples)
+    _drive(system, accesses=50, stride_cycles=100)
+    assert len(sampler.samples) == n  # detached: no more samples
+
+
+def test_long_idle_yields_one_catchup_sample():
+    system = TimeCacheSystem(scaled_experiment_config())
+    sampler = MetricsSampler(system, every_cycles=1_000).attach()
+    system.load(0, 0x4000, now=500)
+    n = len(sampler.samples)
+    # 50 windows of idle, then one access: exactly one catch-up sample
+    system.load(0, 0x8000, now=50_500)
+    assert len(sampler.samples) == n + 1
+
+
+def test_sampler_emits_through_tracer():
+    system = TimeCacheSystem(scaled_experiment_config())
+    ring = RingBufferSink()
+    tracer = Tracer(ring)
+    sampler = MetricsSampler(system, every_cycles=1_000, tracer=tracer).attach()
+    _drive(system, accesses=40, stride_cycles=100)
+    emitted = [e for e in ring.events if e.kind == "metrics.sample"]
+    assert len(emitted) == len(sampler.samples)
+    assert emitted[0].src == "sampler"
+    assert "llc_mpka" in emitted[0].args

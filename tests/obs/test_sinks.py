@@ -1,0 +1,55 @@
+"""Sink behavior: JSONL persistence, ring eviction order, tee fan-out."""
+
+import pytest
+
+from repro.obs import JsonlSink, RingBufferSink, TeeSink, TraceEvent, read_events
+
+
+def _events(n):
+    return [TraceEvent(kind="cache.fill", ts=i, seq=i) for i in range(n)]
+
+
+def test_jsonl_sink_round_trips(tmp_path):
+    path = tmp_path / "nested" / "trace.jsonl"  # parent made on demand
+    events = _events(5)
+    with JsonlSink(path) as sink:
+        for event in events:
+            sink.emit(event)
+        assert sink.emitted == 5
+    assert list(read_events(path)) == events
+
+
+def test_ring_buffer_evicts_oldest_first():
+    ring = RingBufferSink(capacity=4)
+    events = _events(10)
+    for event in events:
+        ring.emit(event)
+    assert ring.events == events[-4:]  # newest 4, oldest first
+    assert ring.emitted == 10
+    assert ring.dropped == 6
+
+
+def test_ring_buffer_under_capacity_drops_nothing():
+    ring = RingBufferSink(capacity=100)
+    for event in _events(3):
+        ring.emit(event)
+    assert ring.dropped == 0
+    assert [e.ts for e in ring.events] == [0, 1, 2]
+
+
+def test_ring_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_tee_duplicates_to_every_sink(tmp_path):
+    ring_a, ring_b = RingBufferSink(), RingBufferSink()
+    jsonl = JsonlSink(tmp_path / "t.jsonl")
+    tee = TeeSink([ring_a, ring_b, jsonl])
+    events = _events(3)
+    for event in events:
+        tee.emit(event)
+    tee.close()
+    assert ring_a.events == events
+    assert ring_b.events == events
+    assert list(read_events(jsonl.path)) == events

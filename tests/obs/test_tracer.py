@@ -1,0 +1,115 @@
+"""Tracer attach/detach semantics and the emitted stream's integrity."""
+
+import pytest
+
+from repro.common.config import scaled_experiment_config
+from repro.core import TimeCacheSystem
+from repro.core.context import SwitchCost
+from repro.obs import EVENT_KINDS, RingBufferSink, Tracer
+
+
+def test_enabled_tracer_requires_sink():
+    with pytest.raises(ValueError):
+        Tracer()
+
+
+def test_disabled_tracer_attaches_nothing():
+    """The production default must leave every hot-path hook untouched."""
+    system = TimeCacheSystem(scaled_experiment_config())
+    before = list(system.hierarchy.post_access_listeners)
+    tracer = Tracer(enabled=False)
+    tracer.attach(system)
+    assert system.hierarchy.post_access_listeners == before
+    assert system.obs_tracer is None
+    for cache in system.hierarchy.all_caches():
+        assert cache.event_listener is None
+    tracer.emit("cache.fill")  # guard swallows it; no sink needed
+    tracer.close()
+
+
+def test_attach_detach_restores_hooks():
+    system = TimeCacheSystem(scaled_experiment_config())
+    ring = RingBufferSink()
+    tracer = Tracer(ring)
+    tracer.attach(system)
+    assert system.obs_tracer is tracer
+    assert all(
+        cache.event_listener is not None
+        for cache in system.hierarchy.all_caches()
+    )
+    system.load(0, 0x4000, now=10)
+    assert ring.emitted > 0
+    tracer.detach()
+    assert system.obs_tracer is None
+    assert system.hierarchy.post_access_listeners == []
+    for cache in system.hierarchy.all_caches():
+        assert cache.event_listener is None
+    emitted = ring.emitted
+    system.load(0, 0x8000, now=20)  # after detach: silence
+    assert ring.emitted == emitted
+
+
+def test_traced_run_stream_integrity():
+    """Known kinds only, monotone seq, fills for the cold misses, and a
+    first-access miss once a switched-in task revisits a cached line."""
+    system = TimeCacheSystem(scaled_experiment_config())
+    ring = RingBufferSink()
+    tracer = Tracer(ring).attach(system)
+    now = 0
+    for i in range(16):
+        now += system.load(0, 0x10000 + (i % 8) * 64, now=now).latency
+    system.context_switch(0, 1, 0, now=now)
+    # task 1's s-bits are clear: this warm line reads as a first access
+    result = system.load(0, 0x10000, now=now + 10)
+    assert result.first_access
+    tracer.close()
+    events = ring.events
+    assert events, "traced run emitted nothing"
+    assert {e.kind for e in events} <= EVENT_KINDS
+    assert [e.seq for e in events] == sorted(e.seq for e in events)
+    assert any(e.kind == "cache.fill" for e in events)
+    assert any(e.kind == "access.first_miss" for e in events)
+    switch = next(e for e in events if e.kind == "ctx.switch")
+    assert switch.args["incoming"] == 1
+    assert switch.args["outgoing"] == 0
+
+
+def test_rollover_switch_emits_epoch_and_flash_clear():
+    ring = RingBufferSink()
+    tracer = Tracer(ring)
+    cost = SwitchCost(dma_cycles=64, comparator_cycles=8, rollover_reset=True)
+    tracer.on_context_switch(0, 1, 0, 1000, cost)
+    kinds = [e.kind for e in ring.events]
+    assert kinds == ["ctx.switch", "rollover.epoch", "sbit.flash_clear"]
+    assert ring.events[0].args["rollover"] is True
+    assert ring.events[2].args["reason"] == "rollover"
+
+
+def test_span_wraps_begin_end():
+    ring = RingBufferSink()
+    tracer = Tracer(ring)
+    with tracer.span("probe", ctx=2):
+        tracer.emit("cache.fill", ctx=2)
+    kinds = [e.kind for e in ring.events]
+    assert kinds == ["phase.begin", "cache.fill", "phase.end"]
+    assert ring.events[0].args == {"name": "probe"}
+    assert ring.events[2].args == {"name": "probe"}
+
+
+def test_tracer_coexists_with_existing_listener():
+    """Chained listeners: a pre-installed direct listener (the invariant
+    checker's style) keeps firing alongside the tracer's."""
+    system = TimeCacheSystem(scaled_experiment_config())
+    l1 = next(c for c in system.hierarchy.all_caches() if "L1D" in c.name)
+    seen = []
+    l1.event_listener = lambda event, s, w, c: seen.append(event)
+    ring = RingBufferSink()
+    tracer = Tracer(ring).attach(system)
+    system.load(0, 0x4000, now=5)
+    assert "fill" in seen
+    assert any(e.kind == "cache.fill" and e.src == l1.name for e in ring.events)
+    tracer.detach()
+    assert l1.event_listener is not None  # the direct listener survives
+    seen.clear()
+    system.load(0, 0x9000, now=50)
+    assert "fill" in seen
