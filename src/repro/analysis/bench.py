@@ -11,6 +11,9 @@ watch.  The workloads:
   vectorized ``fast_compare`` over the same timestamp array;
 * ``hierarchy_access``  — raw access throughput through the modeled
   L1/LLC hierarchy with TimeCache enabled;
+* ``hierarchy_access_batched`` — ``access_batch`` throughput over the
+  hot/cold reference trace, with the same trace driven scalar recorded
+  alongside (``batch_speedup``);
 * ``hierarchy_access_traced`` — the same access trace under the
   observability layer: no tracer, a disabled tracer (the production
   default, gated at <5% overhead), and an enabled tracer streaming
@@ -19,7 +22,8 @@ watch.  The workloads:
   ``--jobs N``, recording the process-pool speedup.
 
 The engine-shaped workloads (``single_config``, ``hierarchy_access``,
-``sweep_parallel``) accept ``engine="object"|"fast"`` and, under the
+``hierarchy_access_batched``, ``sweep_parallel``) accept
+``engine="object"|"fast"`` and, under the
 fast engine, record under a ``_fast``-suffixed name so a baseline file
 holds one entry per engine.  A workload can also *decline* to produce a
 number — ``sweep_parallel`` on a single-CPU machine reports
@@ -53,6 +57,7 @@ DEFAULT_THRESHOLD = 0.20
 ENGINE_AWARE = (
     "single_config",
     "hierarchy_access",
+    "hierarchy_access_batched",
     "hierarchy_access_traced",
     "sweep_parallel",
 )
@@ -222,6 +227,67 @@ def bench_hierarchy_access(
     )
 
 
+def bench_hierarchy_access_batched(
+    quick: bool = False, engine: str = "object"
+) -> BenchResult:
+    """Batched-run throughput through the modeled hierarchy.
+
+    Drives the shared hot/cold reference trace (99.5% of loads over 8
+    hot lines — the cache-friendly regime real workload phases spend
+    most of their time in, and the one the batched path exists for)
+    through ``access_batch`` in one run per repeat.  ``extra`` records
+    the *same trace* driven through the scalar ``access`` loop and the
+    resulting ``batch_speedup``, so the number is honest about what
+    batching buys on identical work.  The miss-heavy uniform trace of
+    ``hierarchy_access`` is deliberately left to the scalar arm.
+    """
+    import dataclasses
+
+    from repro.analysis.runner import hot_cold_reference_trace
+    from repro.core.timecache import TimeCacheSystem
+    from repro.memsys.hierarchy import AccessKind
+    from repro.robustness.campaign import campaign_config
+
+    accesses = 20_000 if quick else 100_000
+    config = campaign_config(seed=7)
+    if engine != config.hierarchy.engine:
+        config = dataclasses.replace(
+            config,
+            hierarchy=dataclasses.replace(config.hierarchy, engine=engine),
+        )
+    addrs = hot_cold_reference_trace(
+        accesses, line_bytes=config.hierarchy.line_bytes, seed=7
+    )
+    load = AccessKind.LOAD
+    repeats = 3 if quick else 5
+
+    def drive_batched() -> None:
+        system = TimeCacheSystem(config)
+        system.hierarchy.access_batch(0, addrs, load, now=0, advance=0)
+
+    def drive_scalar() -> None:
+        system = TimeCacheSystem(config)
+        access = system.hierarchy.access
+        now = 0
+        for addr in addrs:
+            now += access(0, addr, load, now).latency
+
+    runs = _time_runs(drive_batched, repeats)
+    scalar_runs = _time_runs(drive_scalar, repeats)
+    median = statistics.median(runs)
+    scalar_median = statistics.median(scalar_runs)
+    return BenchResult(
+        name="hierarchy_access_batched",
+        runs=runs,
+        extra={
+            "accesses": float(accesses),
+            "accesses_per_s": accesses / median,
+            "scalar_median_s": scalar_median,
+            "batch_speedup": scalar_median / median if median else 0.0,
+        },
+    )
+
+
 def bench_hierarchy_access_traced(
     quick: bool = False, engine: str = "object"
 ) -> BenchResult:
@@ -371,6 +437,7 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "single_config": bench_single_config,
     "comparator": bench_comparator,
     "hierarchy_access": bench_hierarchy_access,
+    "hierarchy_access_batched": bench_hierarchy_access_batched,
     "hierarchy_access_traced": bench_hierarchy_access_traced,
     "sweep_parallel": bench_sweep_parallel,
 }

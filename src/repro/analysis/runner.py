@@ -306,6 +306,126 @@ def single_config(
     )
 
 
+def hot_cold_reference_trace(
+    accesses: int,
+    hot_lines: int = 8,
+    hot_fraction: float = 0.995,
+    pool_lines: int = 256,
+    line_bytes: int = 64,
+    seed: int = 7,
+) -> List[int]:
+    """A deterministic hot/cold load trace (addresses, line-granular).
+
+    ``hot_fraction`` of the accesses land on ``hot_lines`` distinct
+    lines, the rest on a ``pool_lines``-line cold pool — the
+    cache-friendly regime real workload phases spend most of their time
+    in (and the one the batched access path exists for).  Shared by the
+    ``hierarchy_access_batched`` bench arm and the batched-replay
+    sweeps so both measure the same stream.
+    """
+    from repro.common.rng import DeterministicRng
+
+    rng = DeterministicRng(seed)
+    base = 0x10000
+    # The hot set is one consecutive block (a hot buffer): consecutive
+    # lines round-robin across cache sets, so the block spreads evenly
+    # instead of gambling on random set collisions that would turn the
+    # hot set itself into a thrashing workload.
+    start = rng.randint(0, pool_lines - hot_lines)
+    hots = [base + (start + i) * line_bytes for i in range(hot_lines)]
+    trace: List[int] = []
+    for _ in range(accesses):
+        if rng.random() < hot_fraction:
+            trace.append(hots[rng.randint(0, hot_lines - 1)])
+        else:
+            trace.append(base + rng.randint(0, pool_lines - 1) * line_bytes)
+    return trace
+
+
+def batched_replay_run(
+    accesses: int = 8_000,
+    engine: str = "fast",
+    batch: bool = True,
+    seed: int = 7,
+    hot_fraction: float = 0.995,
+) -> Dict[str, object]:
+    """One batched-replay cell: the hot/cold trace through one system.
+
+    Drives :func:`hot_cold_reference_trace` into a campaign-sized
+    :class:`~repro.core.timecache.TimeCacheSystem` via
+    :func:`repro.cpu.tracing.replay_ops` (``batch=False`` replays the
+    identical stream scalar).  Deterministic in its arguments and
+    picklable, so sweeps can fan cells across the process pool; scalar
+    and batched runs of the same cell must produce identical summaries
+    — the equivalence tests lock that in across ``--jobs N``.
+    """
+    import dataclasses
+
+    from repro.core.timecache import TimeCacheSystem
+    from repro.cpu.isa import Load
+    from repro.cpu.tracing import replay_ops
+    from repro.robustness.campaign import campaign_config
+
+    config = campaign_config(seed=seed)
+    if engine != config.hierarchy.engine:
+        config = dataclasses.replace(
+            config,
+            hierarchy=dataclasses.replace(config.hierarchy, engine=engine),
+        )
+    system = TimeCacheSystem(config)
+    trace = hot_cold_reference_trace(
+        accesses,
+        hot_fraction=hot_fraction,
+        line_bytes=config.hierarchy.line_bytes,
+        seed=seed,
+    )
+    results, now = replay_ops(
+        system, (Load(addr) for addr in trace), batch=batch
+    )
+    levels: Dict[str, int] = {}
+    for result in results:
+        levels[result.level] = levels.get(result.level, 0) + 1
+    return {
+        "accesses": len(results),
+        "levels": levels,
+        "first_accesses": sum(1 for r in results if r.first_access),
+        "total_latency": sum(r.latency for r in results),
+        "final_now": now,
+        "stats": system.stats_snapshot(),
+    }
+
+
+def batched_replay_sweep(
+    cells: int = 4,
+    accesses: int = 8_000,
+    engine: str = "fast",
+    batch: bool = True,
+    jobs: Optional[int] = 1,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """A sweep of independent batched-replay cells (one seed per cell).
+
+    ``jobs=1`` runs the exact serial path; anything else fans the cells
+    across the process pool, same contract as the other sweeps: the
+    result list is identical either way.
+    """
+    if jobs == 1:
+        return [
+            batched_replay_run(accesses, engine, batch, seed + i)
+            for i in range(cells)
+        ]
+    executor = ParallelSweepExecutor(jobs, retries=0, base_seed=seed)
+    sweep_jobs = [
+        SweepJob(
+            label=f"replay{i}",
+            fn=batched_replay_run,
+            args=(accesses, engine, batch, seed + i),
+        )
+        for i in range(cells)
+    ]
+    return list(executor.map(sweep_jobs))  # type: ignore[arg-type]
+
+
 def write_run_manifest(
     path: Union[str, Path],
     *,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.common.config import SimConfig
+from repro.common.errors import CalibrationError
 from repro.cpu.isa import Exit, Fence, Flush, Load, Rdtsc
 from repro.cpu.program import Program, ProgramGen
 from repro.os.kernel import Kernel
@@ -46,6 +47,30 @@ class CalibrationResult:
         flush+reload to classify reliably)."""
         return self.cached_max < self.uncached_min
 
+    def validate(self) -> "CalibrationResult":
+        """Raise :class:`CalibrationError` unless a usable threshold exists.
+
+        Empty populations (the calibration program never ran) and
+        overlapping or touching populations (``cached_max >=
+        uncached_min`` — a latency value that could be either class)
+        both make the midpoint threshold meaningless; failing loudly
+        here beats an attack harness silently classifying noise.
+        """
+        if not self.cached_latencies or not self.uncached_latencies:
+            raise CalibrationError(
+                "calibration produced an empty latency population "
+                f"({len(self.cached_latencies)} cached, "
+                f"{len(self.uncached_latencies)} uncached probes)"
+            )
+        if not self.separable:
+            raise CalibrationError(
+                "cached and uncached latency populations overlap; "
+                "no threshold can separate hits from misses",
+                cached_max=self.cached_max,
+                uncached_min=self.uncached_min,
+            )
+        return self
+
 
 def calibrate_hit_threshold(
     config: SimConfig, probes: int = 32, ctx: int = 0
@@ -54,7 +79,11 @@ def calibrate_hit_threshold(
 
     Runs a calibration program on a fresh machine: for each probe line it
     measures an uncached access (after a flush) and then a cached
-    re-access, both rdtsc-bracketed and fenced.
+    re-access, both rdtsc-bracketed and fenced.  Raises
+    :class:`~repro.common.errors.CalibrationError` when the measured
+    populations are empty or inseparable (no midpoint threshold could
+    classify reliably) — e.g. under a configuration whose DRAM latency
+    does not dominate the hit paths.
     """
     kernel = Kernel(config)
     process = kernel.create_process("calibrator")
@@ -88,4 +117,6 @@ def calibrate_hit_threshold(
     task = process.spawn(Program("calibrate", program), affinity=ctx)
     kernel.submit(task)
     kernel.run()
-    return CalibrationResult(cached_latencies=cached, uncached_latencies=uncached)
+    return CalibrationResult(
+        cached_latencies=cached, uncached_latencies=uncached
+    ).validate()

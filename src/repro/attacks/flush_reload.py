@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set
 
-from repro.attacks.base import AttackOutcome, SharedArrayScenario
+from repro.attacks.base import (
+    AttackOutcome,
+    SharedArrayScenario,
+    timed_probe_run,
+)
 from repro.attacks.victim import secret_indexed_victim, writer_victim
 from repro.common.config import SimConfig
 from repro.cpu.isa import Exit, Fence, Flush, Load, Rdtsc, SleepOp
@@ -44,12 +48,16 @@ def run_microbenchmark_attack(
     sleep_cycles: int = 200_000,
     tracer: Optional[Tracer] = None,
     sample_every: int = 0,
+    batched: bool = False,
 ) -> AttackOutcome:
     """The Section VI-A1 parent/child microbenchmark.
 
     Returns the parent's probe outcome; ``AttackOutcome.probe_hits`` is
     the number of successful (hit-latency) reloads.  With a ``tracer``
     the flush/wait/probe phases are emitted as simulated-time spans.
+    ``batched=True`` issues the probe sweep as one :class:`AccessRun`
+    instead of per-line rdtsc stanzas — same traffic, same recorded
+    latencies, one batched operation.
     """
     scenario = SharedArrayScenario(
         config,
@@ -66,8 +74,14 @@ def run_microbenchmark_attack(
         with scenario.phase("wait"):
             yield SleepOp(sleep_cycles)
         with scenario.phase("probe"):
-            for i in range(shared_lines):
-                yield from _timed_probe(scenario.line_vaddr(i), latencies)
+            if batched:
+                yield from timed_probe_run(
+                    [scenario.line_vaddr(i) for i in range(shared_lines)],
+                    latencies,
+                )
+            else:
+                for i in range(shared_lines):
+                    yield from _timed_probe(scenario.line_vaddr(i), latencies)
         yield Exit()
 
     victim = writer_victim(
@@ -89,6 +103,7 @@ def run_spy_flush_reload(
     wait_cycles: int = 30_000,
     tracer: Optional[Tracer] = None,
     sample_every: int = 0,
+    batched: bool = False,
 ) -> AttackOutcome:
     """A spy recovering the victim's secret line set.
 
@@ -96,7 +111,8 @@ def run_spy_flush_reload(
     let the victim run, then probes.  ``extra['recovered']`` holds the
     set of line indices the spy believes the victim touched; in the
     baseline it equals ``set(secret_indices)``, under TimeCache it must
-    be empty.
+    be empty.  ``batched=True`` probes each round with one
+    :class:`AccessRun` instead of per-line rdtsc stanzas.
     """
     scenario = SharedArrayScenario(
         config,
@@ -115,11 +131,23 @@ def run_spy_flush_reload(
             with scenario.phase("wait"):
                 yield SleepOp(wait_cycles)
             with scenario.phase("probe"):
-                for i in range(shared_lines):
+                if batched:
                     before = len(latencies)
-                    yield from _timed_probe(scenario.line_vaddr(i), latencies)
-                    if scenario.classify(latencies[before]):
-                        recovered.add(i)
+                    yield from timed_probe_run(
+                        [scenario.line_vaddr(i) for i in range(shared_lines)],
+                        latencies,
+                    )
+                    for i in range(shared_lines):
+                        if scenario.classify(latencies[before + i]):
+                            recovered.add(i)
+                else:
+                    for i in range(shared_lines):
+                        before = len(latencies)
+                        yield from _timed_probe(
+                            scenario.line_vaddr(i), latencies
+                        )
+                        if scenario.classify(latencies[before]):
+                            recovered.add(i)
         yield Exit()
 
     victim = secret_indexed_victim(

@@ -18,6 +18,7 @@ from repro.common.config import (
     scaled_experiment_config,
 )
 from repro.common.errors import (
+    CalibrationError,
     ConfigError,
     ReproError,
     SchedulerError,
@@ -36,6 +37,7 @@ from repro.common.units import (
 
 __all__ = [
     "CacheConfig",
+    "CalibrationError",
     "ConfigError",
     "Counter",
     "DeterministicRng",

@@ -66,6 +66,31 @@ class FaultInjectionError(ReproError):
     """The fault injector itself was misused or could not inject."""
 
 
+class CalibrationError(ReproError):
+    """Attacker-side calibration produced unusable latency populations.
+
+    Raised when the measured cached and uncached populations are empty,
+    degenerate, or overlap — a threshold derived from them could not
+    classify hits and misses reliably, so downstream attack results
+    would be meaningless rather than merely noisy.  Carries the measured
+    boundary values for diagnostics.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        cached_max: object = None,
+        uncached_min: object = None,
+    ) -> None:
+        self.cached_max = cached_max
+        self.uncached_min = uncached_min
+        bounds = ""
+        if cached_max is not None or uncached_min is not None:
+            bounds = f" (cached_max={cached_max}, uncached_min={uncached_min})"
+        super().__init__(f"{detail}{bounds}")
+
+
 class SchedulerError(ReproError):
     """An OS-layer scheduling operation was invalid (e.g. unknown process)."""
 

@@ -72,7 +72,11 @@ class BitSerialComparator:
 
         Simulates the SR latches bit by bit; the returned cycle count is
         ``bits + 2`` regardless of the number of words — the paper's
-        constant-time-in-lines claim.
+        constant-time-in-lines claim.  ``ts`` may be a full (untruncated)
+        time; the scan compares against its truncation.  The comparison
+        is strictly ``Tc > Ts``: a line filled in the same cycle as the
+        preemption (``Tc == Ts``) keeps its s-bit — when neither latch
+        fires on any bit position the line is left alone.
         """
         bits = self.domain.bits
         if sram.bits != bits:
@@ -111,7 +115,9 @@ class BitSerialComparator:
 
         Produces the same mask as :meth:`compare_values` (property-tested)
         and the same modeled cycle count; experiments use this path so a
-        context switch does not cost Python-level per-bit loops.
+        context switch does not cost Python-level per-bit loops.  Like
+        the gate-level scan, the comparison is strict — ``Tc == Ts``
+        keeps the s-bit.
         """
         ts_trunc = self.domain.truncate(ts)
         flat = np.asarray(tc_values, dtype=np.int64).reshape(-1)

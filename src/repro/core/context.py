@@ -136,13 +136,19 @@ class ContextSwitchEngine:
 
     # ------------------------------------------------------------------
     def _comparator_update(self, cache: Cache, ctx: int, ts_full: int) -> int:
-        """Clear the context's s-bits where ``Tc > Ts`` (hardware)."""
-        ts_trunc = self.domain.truncate(ts_full)
+        """Clear the context's s-bits where ``Tc > Ts`` (hardware).
+
+        ``ts_full`` is passed through untruncated: the comparator owns
+        the one truncation into the Tc domain.  (A second truncation
+        here would be idempotent today, but two truncation points means
+        two places a rollover-boundary bug can hide — the comparator's
+        interface is the full preemption time.)
+        """
         flat_tc = cache.tc.reshape(-1)
         if self.config.gate_level_comparator:
-            result = self.comparator.compare_values(flat_tc, ts_trunc)
+            result = self.comparator.compare_values(flat_tc, ts_full)
         else:
-            result = self.comparator.fast_compare(flat_tc, ts_trunc)
+            result = self.comparator.fast_compare(flat_tc, ts_full)
         mask = result.reset_mask.reshape(cache.tc.shape)
         cleared = cache.clear_sbits_where(ctx, mask)
         self.stats.counter("sbits_cleared_by_comparator").add(cleared)

@@ -28,7 +28,13 @@ from repro.common.config import SimConfig
 from repro.common.rng import DeterministicRng
 from repro.core.context import ContextSwitchEngine, SwitchCost
 from repro.core.sbits import TaskCachingState
-from repro.memsys.hierarchy import AccessKind, AccessResult, MemoryHierarchy
+from repro.memsys.hierarchy import (
+    AccessKind,
+    AccessResult,
+    BatchResult,
+    KindsArg,
+    MemoryHierarchy,
+)
 
 
 class TimeCacheSystem:
@@ -80,6 +86,29 @@ class TimeCacheSystem:
         """One blocking memory access; ``now`` defaults to the global clock."""
         when = self.clock.now if now is None else now
         return self.hierarchy.access(ctx, addr, kind, when)
+
+    def access_batch(
+        self,
+        ctx: int,
+        addrs,
+        kinds: KindsArg = AccessKind.LOAD,
+        now: Optional[int] = None,
+        advance: int = 1,
+        nows=None,
+    ) -> BatchResult:
+        """A run of same-context accesses in one call.
+
+        Semantically identical to calling :meth:`access` in a loop with
+        the blocking-CPU time rule (see
+        :meth:`~repro.memsys.hierarchy.MemoryHierarchy.access_batch`);
+        on the fast engine the run executes vectorized.  ``now`` defaults
+        to the global clock.  Context switches and flushes are batch
+        boundaries — issue them between calls.
+        """
+        when = self.clock.now if now is None else now
+        return self.hierarchy.access_batch(
+            ctx, addrs, kinds, now=when, advance=advance, nows=nows
+        )
 
     def load(self, ctx: int, addr: int, now: Optional[int] = None) -> AccessResult:
         return self.access(ctx, addr, AccessKind.LOAD, now)

@@ -11,6 +11,7 @@ under gem5's TimingSimpleCPU.
 
 from repro.cpu.cpu import HardwareContext, StepEvent, StepOutcome
 from repro.cpu.isa import (
+    AccessRun,
     Compute,
     Exit,
     Fence,
@@ -26,6 +27,7 @@ from repro.cpu.isa import (
 from repro.cpu.program import Program, trace_program
 
 __all__ = [
+    "AccessRun",
     "Compute",
     "Exit",
     "Fence",

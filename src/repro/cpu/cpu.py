@@ -20,6 +20,7 @@ from repro.common.errors import ProgramError
 from repro.common.stats import StatGroup
 from repro.core.timecache import TimeCacheSystem
 from repro.cpu.isa import (
+    AccessRun,
     Compute,
     Exit,
     Fence,
@@ -34,6 +35,13 @@ from repro.cpu.isa import (
 )
 from repro.cpu.program import ProgramGen
 from repro.memsys.hierarchy import AccessKind
+
+#: AccessRun kind code -> access kind (and the stat counter it bumps)
+_KIND_OF_CODE = {
+    "L": (AccessKind.LOAD, "loads"),
+    "S": (AccessKind.STORE, "stores"),
+    "I": (AccessKind.IFETCH, "ifetches"),
+}
 
 
 class StepEvent(enum.Enum):
@@ -149,6 +157,32 @@ class HardwareContext:
             stats.counter("instructions").add()
             stats.counter("flushes").add()
             self._pending_result = result
+            return StepOutcome(StepEvent.RUNNING)
+        if isinstance(op, AccessRun):
+            translate = self._translate
+            paddrs = [translate(v) for v in op.vaddrs]
+            n = len(paddrs)
+            if len(op.kinds) == 1:
+                kind, counter = _KIND_OF_CODE[op.kinds]
+                batch = self.system.access_batch(
+                    self.ctx_id, paddrs, kind, now=self.local_time, advance=1
+                )
+                stats.counter(counter).add(n)
+            else:
+                kinds = [_KIND_OF_CODE[c][0] for c in op.kinds]
+                batch = self.system.access_batch(
+                    self.ctx_id, paddrs, kinds, now=self.local_time, advance=1
+                )
+                for code, counter in (("L", "loads"), ("S", "stores"),
+                                      ("I", "ifetches")):
+                    count = op.kinds.count(code)
+                    if count:
+                        stats.counter(counter).add(count)
+            # batch.now is exactly local_time + sum(1 + latency) over the
+            # run — the same clock a Load/Store/Ifetch sequence reaches.
+            self.local_time = batch.now
+            stats.counter("instructions").add(n)
+            self._pending_result = batch.results
             return StepOutcome(StepEvent.RUNNING)
         if isinstance(op, Compute):
             self.local_time += op.instructions

@@ -16,7 +16,12 @@ from repro.memsys.cacheset import CacheSet
 from repro.memsys.coherence import Directory
 from repro.memsys.dram import Dram
 from repro.memsys.fastengine import FastCache, FastHierarchy
-from repro.memsys.hierarchy import AccessKind, AccessResult, MemoryHierarchy
+from repro.memsys.hierarchy import (
+    AccessKind,
+    AccessResult,
+    BatchResult,
+    MemoryHierarchy,
+)
 from repro.memsys.line import CacheLine, LineState
 from repro.memsys.replacement import (
     FifoPolicy,
@@ -29,6 +34,7 @@ from repro.memsys.replacement import (
 __all__ = [
     "AccessKind",
     "AccessResult",
+    "BatchResult",
     "Cache",
     "CacheLine",
     "CacheSet",

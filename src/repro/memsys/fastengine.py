@@ -61,6 +61,8 @@ from repro.common.stats import Counter, StatGroup
 from repro.memsys.hierarchy import (
     AccessKind,
     AccessResult,
+    BatchResult,
+    KindsArg,
     MemoryHierarchy,
 )
 from repro.memsys.line import LineState
@@ -254,6 +256,8 @@ class FastCache:
         "tc_mv",
         "sbits_mv",
         "valid_mv",
+        "tags_np",
+        "tags_mv",
         "_tags",
         "_dirty",
         "_last_used",
@@ -341,6 +345,12 @@ class FastCache:
         # (MODIFIED iff dirty, else SHARED), so the fast engine stores only
         # the dirty bit; ``state_at`` derives the enum on demand.
         self._tags: List[int] = [-1] * slots
+        # Numpy mirror of ``_tags`` for the batched access path: whole
+        # sets gather in one vectorized tag-match there, while the list
+        # stays the cheapest scalar read.  Every tag write keeps both in
+        # lockstep (``tags_mv`` is the flat writable view of the mirror).
+        self.tags_np = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self.tags_mv = memoryview(self.tags_np.reshape(-1))
         self._dirty: List[bool] = [False] * slots
         self._last_used: List[int] = [0] * slots
         self._filled_at: List[int] = [0] * slots
@@ -556,6 +566,7 @@ class FastCache:
             )
         idx = base + way
         tags[idx] = line_addr
+        self.tags_mv[idx] = line_addr
         self._dirty[idx] = dirty
         # CacheLine.__init__ stamps both recency fields with the
         # (truncated) fill time; touch() later overwrites with full time.
@@ -581,6 +592,7 @@ class FastCache:
             raise SimulationError(f"remove from empty way {way}")
         was_dirty = self._dirty[idx]
         self._tags[idx] = -1
+        self.tags_mv[idx] = -1
         del self._tag_to_way[set_idx][tag]
         self._occ[set_idx] -= 1
         self.sbits_mv[idx] = 0
@@ -600,6 +612,7 @@ class FastCache:
         idx = set_idx * self.ways + way
         was_dirty = self._dirty[idx]
         self._tags[idx] = -1
+        self.tags_mv[idx] = -1
         del self._tag_to_way[set_idx][line_addr]
         self._occ[set_idx] -= 1
         self.sbits_mv[idx] = 0
@@ -774,13 +787,7 @@ class FastHierarchy(MemoryHierarchy):
         #: Everything captured is set once and mutated only in place.
         #: The two pre-interned results cover the dominant outcomes (pure
         #: L1 hit, clean LLC hit) without building a lookup key.
-        def interned(latency: int, level: str) -> AccessResult:
-            key = (latency, level, False)
-            result = self._results.get(key)
-            if result is None:
-                result = AccessResult(latency, level, False)
-                self._results[key] = result
-            return result
+        interned = self._intern_result
 
         def l1_entry(l1: FastCache, ctx: int):
             return (
@@ -795,6 +802,7 @@ class FastHierarchy(MemoryHierarchy):
                 l1.tc_mv,
                 l1.valid_mv,
                 l1._tags,
+                l1.tags_mv,
                 l1._dirty,
                 l1._last_used,
                 l1._filled_at,
@@ -854,6 +862,16 @@ class FastHierarchy(MemoryHierarchy):
             config, hw_contexts, hit_latency, rng, max_sharers=max_sharers
         )
 
+    def _intern_result(
+        self, latency: int, level: str, first: bool = False
+    ) -> AccessResult:
+        key = (latency, level, first)
+        result = self._results.get(key)
+        if result is None:
+            result = AccessResult(latency, level, first)
+            self._results[key] = result
+        return result
+
     # ------------------------------------------------------------------
     # The access protocol, inlined
     # ------------------------------------------------------------------
@@ -892,6 +910,7 @@ class FastHierarchy(MemoryHierarchy):
                 tc_mv,
                 valid_mv,
                 tags,
+                tags_mv,
                 dirty,
                 last_used,
                 filled_at,
@@ -1039,6 +1058,7 @@ class FastHierarchy(MemoryHierarchy):
                     # pair of the reference engine produces.
                 tnow = now & tc_mask
                 tags[idx] = line
+                tags_mv[idx] = line
                 dirty[idx] = is_write
                 last_used[idx] = tnow
                 filled_at[idx] = tnow
@@ -1082,6 +1102,272 @@ class FastHierarchy(MemoryHierarchy):
             for listener in post_listeners:
                 listener(ctx, line, kind, now, result)
         return result
+
+    # ------------------------------------------------------------------
+    # Batched access execution (vectorized)
+    # ------------------------------------------------------------------
+    #: below this batch size the numpy fixed costs beat the win
+    _BATCH_MIN = 32
+    #: scalar accesses executed after each vectorized window stops at a
+    #: boundary, before reclassifying (amortizes classification cost when
+    #: boundaries cluster — a miss usually drags dependent misses along)
+    _BATCH_SCALAR_RUN = 8
+    #: adaptive classification-window bounds
+    _BATCH_WINDOW_MIN = 32
+    _BATCH_WINDOW_MAX = 4096
+
+    def access_batch(
+        self,
+        ctx: int,
+        addrs,
+        kinds: KindsArg = AccessKind.LOAD,
+        now: int = 0,
+        advance: int = 1,
+        nows=None,
+    ) -> BatchResult:
+        """Vectorized run of same-context accesses.
+
+        Classifies a window of accesses at once with numpy — set index
+        and tag extraction, tag match against the ``tags_np`` mirror,
+        s-bit presence against the packed per-way bitmasks — and retires
+        the longest *simple-hit* prefix (tag match, s-bit set, not a
+        store) as array operations: one bulk hit-counter bump, a grouped
+        LRU scatter, and interned results.  Everything else — misses,
+        first accesses, fills/evictions, stores (coherence), flushes —
+        carries ordering dependencies and falls back to the scalar path,
+        after which the next window reclassifies against the updated
+        state.  The window grows while it keeps retiring whole windows
+        and shrinks when boundaries cut it short.
+
+        Semantics (results, counters, final s-bit/Tc/LRU state, clock)
+        are identical to :meth:`MemoryHierarchy.access_batch`'s scalar
+        loop, which the differential fuzz enforces.  With hierarchy
+        pre/post access listeners attached the scalar loop runs instead,
+        so observers see every access exactly as they would unbatched.
+        """
+        n = len(addrs)
+        if (
+            n < self._BATCH_MIN
+            or self.pre_access_listeners
+            or self.post_access_listeners
+            or (isinstance(kinds, AccessKind) and kinds is _STORE)
+        ):
+            # Listeners must observe every access in order; every store
+            # is a boundary, so an all-store batch has no vector work.
+            return MemoryHierarchy.access_batch(
+                self, ctx, addrs, kinds, now=now, advance=advance, nows=nows
+            )
+        if advance < 0:
+            raise SimulationError(f"advance cannot be negative: {advance}")
+        try:
+            if ctx < 0:
+                raise IndexError
+            l1i = self._l1i_of_ctx[ctx]
+            l1d = self._l1d_of_ctx[ctx]
+        except IndexError:
+            raise SimulationError(
+                f"hardware context {ctx} out of range"
+            ) from None
+        addrs_np = np.asarray(addrs, dtype=np.int64)
+        lines = addrs_np >> self.line_shift
+        if isinstance(kinds, AccessKind):
+            uniform: Optional[AccessKind] = kinds
+            kseq: Optional[List[AccessKind]] = None
+            is_ifetch = is_store = None
+            has_store = False
+            need_d = kinds is not _IFETCH
+            need_i = kinds is _IFETCH
+        else:
+            uniform = None
+            kseq = list(kinds)
+            if len(kseq) != n:
+                raise SimulationError(
+                    f"kinds has {len(kseq)} entries for {n} addresses"
+                )
+            is_ifetch = np.fromiter(
+                (k is _IFETCH for k in kseq), dtype=bool, count=n
+            )
+            is_store = np.fromiter(
+                (k is _STORE for k in kseq), dtype=bool, count=n
+            )
+            has_store = bool(is_store.any())
+            need_d = True
+            need_i = bool(is_ifetch.any())
+        nows_np = None
+        if nows is not None:
+            nows_np = np.asarray(nows, dtype=np.int64).reshape(-1)
+            if nows_np.size != n:
+                raise SimulationError(
+                    f"nows has {nows_np.size} entries for {n} addresses"
+                )
+            if n > 1 and bool(np.any(np.diff(nows_np) < 0)):
+                raise SimulationError("nows must be non-decreasing")
+        tc_enabled = self._tc_enabled
+        clock = self.clock
+        d_mask, d_ways, d_bit = l1d._set_mask, l1d.ways, l1d._ctx_bit_of[ctx]
+        i_mask, i_ways, i_bit = l1i._set_mask, l1i.ways, l1i._ctx_bit_of[ctx]
+        d_last, i_last = l1d._last_used, l1i._last_used
+        d_hit = self._intern_result(l1d.hit_latency, "L1")
+        i_hit = self._intern_result(l1i.hit_latency, "L1")
+        # L1I and L1D share one hit latency by construction (both are
+        # built with latency.l1_hit), so one stride covers mixed windows.
+        step = advance + l1d.hit_latency
+        scalar_access = self.access
+        results: List[AccessResult] = []
+        extend = results.extend
+        # Per-context match arrays: a slot matches a line iff its tag
+        # equals the line AND (defense off, or the context's s-bit is
+        # set) — the whole simple-hit test as one gathered comparison
+        # against a sentinel-filled copy.  Vectorized hits never change
+        # tags or s-bits, so the copies only go stale across scalar
+        # stretches (``stale`` below).  With the defense off the live tag
+        # mirrors serve directly and never go stale (in-place updates).
+        if tc_enabled:
+            d_etag = i_etag = None
+            stale = True
+        else:
+            d_etag = l1d.tags_np
+            i_etag = l1i.tags_np
+            stale = False
+        window = 256
+        scalar_run = self._BATCH_SCALAR_RUN
+        cursor = now
+        i = 0
+        while i < n:
+            if stale:
+                if need_d:
+                    d_etag = np.where(
+                        (l1d.sbits & d_bit) != 0, l1d.tags_np, -2
+                    )
+                if need_i:
+                    i_etag = np.where(
+                        (l1i.sbits & i_bit) != 0, l1i.tags_np, -2
+                    )
+                stale = False
+            j = min(i + window, n)
+            m = j - i
+            sl = lines[i:j]
+            col = sl[:, None]
+            if uniform is not None:
+                if uniform is _IFETCH:
+                    set_i = sl & i_mask
+                    eq_i = i_etag[set_i] == col
+                    simple = eq_i.any(axis=1)
+                else:
+                    set_d = sl & d_mask
+                    eq_d = d_etag[set_d] == col
+                    simple = eq_d.any(axis=1)
+                any_if = uniform is _IFETCH
+            else:
+                sif = is_ifetch[i:j]
+                any_if = bool(sif.any())
+                set_d = sl & d_mask
+                eq_d = d_etag[set_d] == col
+                hit_d = eq_d.any(axis=1)
+                if any_if:
+                    set_i = sl & i_mask
+                    eq_i = i_etag[set_i] == col
+                    hit_i = eq_i.any(axis=1)
+                    simple = np.where(sif, hit_i, hit_d)
+                else:
+                    simple = hit_d
+                if has_store:
+                    simple = simple & ~is_store[i:j]
+            k = m if simple.all() else int(np.argmax(~simple))
+            if k:
+                # Issue times of the prefix.  Within it no fill, evict,
+                # or s-bit change can occur, so only each slot's LAST
+                # touch survives — dict(zip(...)) dedupes slots with the
+                # scalar path's last-write-wins order.
+                if nows_np is not None:
+                    ts_list = nows_np[i : i + k].tolist()
+                    t_last = ts_list[-1]
+                else:
+                    ts_list = None
+                    t_last = cursor + step * (k - 1)
+                if uniform is not None:
+                    if uniform is _IFETCH:
+                        slots = set_i[:k] * i_ways + eq_i[:k].argmax(axis=1)
+                        last = i_last
+                        l1i.n_hits += k
+                        extend([i_hit] * k)
+                    else:
+                        slots = set_d[:k] * d_ways + eq_d[:k].argmax(axis=1)
+                        last = d_last
+                        l1d.n_hits += k
+                        extend([d_hit] * k)
+                    if ts_list is not None:
+                        for slot, t in zip(slots.tolist(), ts_list):
+                            last[slot] = t
+                    else:
+                        for slot, p in dict(
+                            zip(slots.tolist(), range(k))
+                        ).items():
+                            last[slot] = cursor + step * p
+                else:
+                    if ts_list is None:
+                        ts_list = (
+                            cursor + step * np.arange(k, dtype=np.int64)
+                        ).tolist()
+                    pif = sif[:k]
+                    ni = int(np.count_nonzero(pif)) if any_if else 0
+                    if ni == 0:
+                        idx_d = set_d[:k] * d_ways + eq_d[:k].argmax(axis=1)
+                        for slot, t in zip(idx_d.tolist(), ts_list):
+                            d_last[slot] = t
+                        l1d.n_hits += k
+                        extend([d_hit] * k)
+                    elif ni == k:
+                        idx_i = set_i[:k] * i_ways + eq_i[:k].argmax(axis=1)
+                        for slot, t in zip(idx_i.tolist(), ts_list):
+                            i_last[slot] = t
+                        l1i.n_hits += k
+                        extend([i_hit] * k)
+                    else:
+                        idx_d = set_d[:k] * d_ways + eq_d[:k].argmax(axis=1)
+                        idx_i = set_i[:k] * i_ways + eq_i[:k].argmax(axis=1)
+                        dl, il = idx_d.tolist(), idx_i.tolist()
+                        flags = pif.tolist()
+                        for p in range(k):
+                            if flags[p]:
+                                i_last[il[p]] = ts_list[p]
+                            else:
+                                d_last[dl[p]] = ts_list[p]
+                        l1i.n_hits += ni
+                        l1d.n_hits += k - ni
+                        extend(i_hit if f else d_hit for f in flags)
+                if t_last > clock._now:
+                    clock._now = t_last
+                if nows_np is None:
+                    cursor = t_last + step
+                i += k
+            if k == m:
+                if window < self._BATCH_WINDOW_MAX:
+                    window <<= 1
+                continue
+            if k < (m >> 1) and window > self._BATCH_WINDOW_MIN:
+                window >>= 1
+            stop = min(i + scalar_run, n)
+            if nows_np is not None:
+                while i < stop:
+                    kind = uniform if kseq is None else kseq[i]
+                    results.append(
+                        scalar_access(
+                            ctx, int(addrs_np[i]), kind, int(nows_np[i])
+                        )
+                    )
+                    i += 1
+            else:
+                while i < stop:
+                    kind = uniform if kseq is None else kseq[i]
+                    result = scalar_access(ctx, int(addrs_np[i]), kind, cursor)
+                    results.append(result)
+                    cursor += advance + result.latency
+                    i += 1
+            if tc_enabled:
+                stale = True
+        final_now = int(nows_np[n - 1]) if nows_np is not None else cursor
+        return BatchResult(results, final_now)
 
     def _remote_owner_transfer(self, line: int, owner: str) -> Tuple[int, str]:
         """Slow half of _coherence_on_access: a foreign private cache owns

@@ -22,7 +22,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.common.clock import GlobalClock
 from repro.common.config import HierarchyConfig, TimeCacheConfig
@@ -56,6 +65,35 @@ class AccessResult:
     latency: int
     level: str
     first_access: bool
+
+
+class BatchResult(NamedTuple):
+    """Outcome of one :meth:`MemoryHierarchy.access_batch` call.
+
+    ``results`` holds one :class:`AccessResult` per access, in issue
+    order; ``now`` is the cycle cursor after the last access — the value
+    a caller passes as ``now`` to the next batch to continue the same
+    stream (in ``nows`` mode it is simply the last issue time).
+    """
+
+    results: List[AccessResult]
+    now: int
+
+
+#: what callers may pass as the ``kinds`` argument of ``access_batch``
+KindsArg = Union[AccessKind, Sequence[AccessKind]]
+
+
+def _kind_sequence(kinds: KindsArg, n: int) -> List[AccessKind]:
+    """Normalize the ``kinds`` argument to one AccessKind per address."""
+    if isinstance(kinds, AccessKind):
+        return [kinds] * n
+    seq = list(kinds)
+    if len(seq) != n:
+        raise SimulationError(
+            f"kinds has {len(seq)} entries for {n} addresses"
+        )
+    return seq
 
 
 class MemoryHierarchy:
@@ -301,6 +339,61 @@ class MemoryHierarchy:
             for listener in self.post_access_listeners:
                 listener(ctx, line, kind, now, result)
         return result
+
+    def access_batch(
+        self,
+        ctx: int,
+        addrs: Sequence[int],
+        kinds: KindsArg = AccessKind.LOAD,
+        now: int = 0,
+        advance: int = 1,
+        nows: Optional[Sequence[int]] = None,
+    ) -> BatchResult:
+        """Execute a run of same-context accesses; the scalar reference.
+
+        The semantics are *defined* as exactly this loop over
+        :meth:`access`: each access issues at the current cycle cursor,
+        then the cursor moves by ``advance`` plus the observed latency —
+        the blocking TimingSimpleCPU rule (``advance=1`` matches the CPU
+        model's one cycle per retired op; ``advance=0`` charges latency
+        only, which is what the throughput benchmarks drive).
+
+        Alternatively ``nows`` pins every access to an explicit issue
+        time (one non-decreasing entry per address); the returned cursor
+        is then the last issue time.  ``kinds`` is either a single
+        :class:`AccessKind` applied to the whole run or one per address.
+
+        The fast engine overrides this with a vectorized implementation
+        that the differential fuzz checks against this loop.
+        """
+        n = len(addrs)
+        kseq = _kind_sequence(kinds, n)
+        if advance < 0:
+            raise SimulationError(f"advance cannot be negative: {advance}")
+        results: List[AccessResult] = []
+        append = results.append
+        access = self.access
+        if nows is not None:
+            if len(nows) != n:
+                raise SimulationError(
+                    f"nows has {len(nows)} entries for {n} addresses"
+                )
+            prev: Optional[int] = None
+            for addr, kind, when in zip(addrs, kseq, nows):
+                when = int(when)
+                if prev is not None and when < prev:
+                    raise SimulationError(
+                        f"nows must be non-decreasing ({when} after {prev})"
+                    )
+                prev = when
+                append(access(ctx, int(addr), kind, when))
+            return BatchResult(results, now if prev is None else prev)
+        cursor = now
+        for addr, kind in zip(addrs, kseq):
+            result = access(ctx, int(addr), kind, cursor)
+            append(result)
+            cursor += advance + result.latency
+        return BatchResult(results, cursor)
 
     def _access_l1(
         self, l1: Cache, line: int, ctx: int, is_write: bool, now: int

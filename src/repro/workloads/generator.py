@@ -14,6 +14,8 @@ compare cycles over fixed work.
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 from repro.common.rng import DeterministicRng
 from repro.cpu.isa import Compute, Exit, Ifetch, Load, Store
 from repro.cpu.program import Program, ProgramGen
@@ -100,69 +102,122 @@ class WorkloadBuilder:
         """The lazy op stream implementing the profile's behavior."""
         rng = self.rng.fork(seed_tag)
         line_bytes = self.line_bytes
-        hot_lines = max(1, int(profile.data_lines * profile.hot_set_fraction))
-        ws_lines = profile.data_lines
-        lib_lines = profile.shared_lib_lines
-        code_lines = profile.code_lines
 
         def factory() -> ProgramGen:
-            retired = 0
-            stream_pos = rng.randint(0, ws_lines - 1)
-            stream_in_line = 0
-            code_pos = 0
-            since_ifetch = 0
-            since_syscall = 0
-            while retired < instructions:
-                # Instruction fetch stream: walk the code footprint, with
-                # a slice of fetches landing in the shared library.
-                since_ifetch += 1
-                if since_ifetch >= profile.ifetch_every:
-                    since_ifetch = 0
-                    if rng.random() < 0.15 and lib_lines > 0:
-                        addr = LIB_BASE + rng.randint(0, lib_lines - 1) * line_bytes
-                    else:
-                        code_pos = (code_pos + 1) % code_lines
-                        if rng.random() < 0.1:  # branch: jump somewhere
-                            code_pos = rng.randint(0, code_lines - 1)
-                        addr = CODE_BASE + code_pos * line_bytes
-                    yield Ifetch(addr)
-                    retired += 1
-                    continue
-
-                # Occasional syscall: a burst through shared kernel text.
-                since_syscall += 1
-                if since_syscall >= profile.syscall_every:
-                    since_syscall = 0
-                    start = rng.randint(0, KERNEL_LINES - 5)
-                    for k in range(4):
-                        yield Ifetch(KERNEL_BASE + (start + k) * line_bytes)
-                    retired += 4
-                    continue
-
-                if rng.random() < profile.mem_ratio:
-                    # Data access: streaming, hot, or cold.
-                    r = rng.random()
-                    if r < profile.stream_fraction:
-                        stream_in_line += 1
-                        if stream_in_line >= profile.stream_accesses_per_line:
-                            stream_in_line = 0
-                            stream_pos = (stream_pos + 1) % ws_lines
-                        index = stream_pos
-                    elif rng.random() < profile.hot_fraction:
-                        index = rng.randint(0, hot_lines - 1)
-                    else:
-                        index = rng.randint(0, ws_lines - 1)
-                    addr = DATA_BASE + index * line_bytes
-                    if rng.random() < profile.write_ratio:
-                        yield Store(addr)
-                    else:
-                        yield Load(addr)
-                    retired += 1
-                else:
-                    # A run of ALU work between memory operations.
-                    burst = rng.randint(1, 4)
-                    yield Compute(burst)
-                    retired += burst
+            yield from _profile_ops(profile, instructions, rng, line_bytes)
             yield Exit()
 
         return Program(profile.name, factory)
+
+
+def _profile_ops(
+    profile: BenchmarkProfile,
+    instructions: int,
+    rng: DeterministicRng,
+    line_bytes: int,
+) -> ProgramGen:
+    """The profile's operation mix (without the trailing ``Exit``).
+
+    Shared by the process programs and the reference-stream producers so
+    both draw the identical deterministic stream for a given rng state.
+    """
+    hot_lines = max(1, int(profile.data_lines * profile.hot_set_fraction))
+    ws_lines = profile.data_lines
+    lib_lines = profile.shared_lib_lines
+    code_lines = profile.code_lines
+    retired = 0
+    stream_pos = rng.randint(0, ws_lines - 1)
+    stream_in_line = 0
+    code_pos = 0
+    since_ifetch = 0
+    since_syscall = 0
+    while retired < instructions:
+        # Instruction fetch stream: walk the code footprint, with
+        # a slice of fetches landing in the shared library.
+        since_ifetch += 1
+        if since_ifetch >= profile.ifetch_every:
+            since_ifetch = 0
+            if rng.random() < 0.15 and lib_lines > 0:
+                addr = LIB_BASE + rng.randint(0, lib_lines - 1) * line_bytes
+            else:
+                code_pos = (code_pos + 1) % code_lines
+                if rng.random() < 0.1:  # branch: jump somewhere
+                    code_pos = rng.randint(0, code_lines - 1)
+                addr = CODE_BASE + code_pos * line_bytes
+            yield Ifetch(addr)
+            retired += 1
+            continue
+
+        # Occasional syscall: a burst through shared kernel text.
+        since_syscall += 1
+        if since_syscall >= profile.syscall_every:
+            since_syscall = 0
+            start = rng.randint(0, KERNEL_LINES - 5)
+            for k in range(4):
+                yield Ifetch(KERNEL_BASE + (start + k) * line_bytes)
+            retired += 4
+            continue
+
+        if rng.random() < profile.mem_ratio:
+            # Data access: streaming, hot, or cold.
+            r = rng.random()
+            if r < profile.stream_fraction:
+                stream_in_line += 1
+                if stream_in_line >= profile.stream_accesses_per_line:
+                    stream_in_line = 0
+                    stream_pos = (stream_pos + 1) % ws_lines
+                index = stream_pos
+            elif rng.random() < profile.hot_fraction:
+                index = rng.randint(0, hot_lines - 1)
+            else:
+                index = rng.randint(0, ws_lines - 1)
+            addr = DATA_BASE + index * line_bytes
+            if rng.random() < profile.write_ratio:
+                yield Store(addr)
+            else:
+                yield Load(addr)
+            retired += 1
+        else:
+            # A run of ALU work between memory operations.
+            burst = rng.randint(1, 4)
+            yield Compute(burst)
+            retired += burst
+
+
+def profile_reference_stream(
+    profile: BenchmarkProfile,
+    accesses: int,
+    seed: int = 0xBEEF,
+    line_bytes: int = 64,
+) -> Tuple[List[int], str]:
+    """A profile's bare memory-reference stream as ``(vaddrs, kinds)``.
+
+    Strips the compute bursts out of the operation mix, leaving the
+    load/store/ifetch sequence with the profile's address distributions
+    intact — the shape the batched access drivers consume directly
+    (``kinds`` is a code string, one ``L``/``S``/``I`` per address).
+    No kernel is needed; virtual addresses use the standard layout
+    bases, so the stream can be replayed raw against a hierarchy or
+    wrapped into :class:`~repro.cpu.isa.AccessRun` chunks.
+    """
+    profile.validate()
+    rng = DeterministicRng(seed).fork(f"stream-{profile.name}")
+    vaddrs: List[int] = []
+    kinds: List[str] = []
+    # Memory ops are ~mem_ratio of retired instructions; oversize the
+    # instruction budget and stop at the access target.
+    budget = max(64, int(accesses * 4))
+    while len(vaddrs) < accesses:
+        for op in _profile_ops(profile, budget, rng, line_bytes):
+            if isinstance(op, Load):
+                vaddrs.append(op.vaddr)
+                kinds.append("L")
+            elif isinstance(op, Store):
+                vaddrs.append(op.vaddr)
+                kinds.append("S")
+            elif isinstance(op, Ifetch):
+                vaddrs.append(op.vaddr)
+                kinds.append("I")
+            if len(vaddrs) >= accesses:
+                break
+    return vaddrs, "".join(kinds)

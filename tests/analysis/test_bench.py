@@ -86,6 +86,7 @@ class TestOutputFiles:
             "single_config",
             "comparator",
             "hierarchy_access",
+            "hierarchy_access_batched",
             "sweep_parallel",
         }
 
@@ -124,6 +125,30 @@ class TestRealWorkloads:
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
         result = bench_sweep_parallel(quick=True, jobs=1)
         assert result.skipped == "insufficient_cpus"
+
+
+class TestBatchedBench:
+    def test_batched_arm_runs_and_records_throughput(self):
+        result = run_benchmarks(
+            names=["hierarchy_access_batched"], quick=True
+        )["hierarchy_access_batched"]
+        assert result.median_s > 0
+        assert result.extra["accesses"] > 0
+        assert result.extra["accesses_per_s"] > 0
+        assert result.extra["scalar_median_s"] > 0
+        assert result.extra["batch_speedup"] > 0
+
+    def test_batched_arm_is_engine_aware(self):
+        results = run_benchmarks(
+            names=["hierarchy_access_batched"], quick=True, engine="fast"
+        )
+        assert list(results) == ["hierarchy_access_batched_fast"]
+        fast = results["hierarchy_access_batched_fast"]
+        # Quick mode on a loaded machine is too noisy to assert the
+        # full >1x batch speedup here — the committed-baseline gate
+        # owns the real perf bar; this only catches a catastrophically
+        # broken batch path.
+        assert fast.extra["batch_speedup"] > 0.3
 
 
 class TestEngineSelection:

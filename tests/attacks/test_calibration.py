@@ -3,7 +3,8 @@
 import pytest
 
 from repro.attacks.base import hit_threshold
-from repro.attacks.calibration import calibrate_hit_threshold
+from repro.attacks.calibration import CalibrationResult, calibrate_hit_threshold
+from repro.common.errors import CalibrationError, ReproError
 
 from tests.conftest import tiny_config
 
@@ -42,3 +43,47 @@ def test_calibration_works_under_timecache_too():
     own fills are visible to itself (no first access on own data)."""
     result = calibrate_hit_threshold(tiny_config(enabled=True), probes=8)
     assert result.separable
+
+
+class TestDegeneratePopulations:
+    """Inseparable or empty latency populations must raise a typed error
+    instead of yielding a meaningless midpoint threshold."""
+
+    def test_overlapping_populations_raise(self):
+        overlapping = CalibrationResult(
+            cached_latencies=[3, 4, 7],  # slowest "hit" = 7
+            uncached_latencies=[5, 6, 9],  # fastest "miss" = 5
+        )
+        with pytest.raises(CalibrationError) as exc:
+            overlapping.validate()
+        assert exc.value.cached_max == 7
+        assert exc.value.uncached_min == 5
+        assert "overlap" in str(exc.value)
+
+    def test_touching_populations_raise(self):
+        """Equal boundary values are just as inseparable — a probe at
+        that latency could be either class."""
+        touching = CalibrationResult(
+            cached_latencies=[3, 5], uncached_latencies=[5, 9]
+        )
+        with pytest.raises(CalibrationError):
+            touching.validate()
+
+    def test_empty_population_raises(self):
+        with pytest.raises(CalibrationError, match="empty"):
+            CalibrationResult(
+                cached_latencies=[], uncached_latencies=[5]
+            ).validate()
+        with pytest.raises(CalibrationError, match="empty"):
+            CalibrationResult(
+                cached_latencies=[3], uncached_latencies=[]
+            ).validate()
+
+    def test_error_is_catchable_as_repro_error(self):
+        assert issubclass(CalibrationError, ReproError)
+
+    def test_validate_returns_self_when_separable(self):
+        good = CalibrationResult(
+            cached_latencies=[3, 4], uncached_latencies=[100, 110]
+        )
+        assert good.validate() is good

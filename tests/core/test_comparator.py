@@ -108,3 +108,93 @@ def test_exhaustive_small_width():
     for ts in range(16):
         result = comp.compare_values(all_values, ts)
         assert list(result.reset_mask) == [tc > ts for tc in range(16)]
+
+
+class TestSingleTruncationPoint:
+    """The comparator's interface is the *full* preemption time: it owns
+    the one truncation into the Tc domain.  Regression tests for the
+    rollover boundary ``Ts = 2**bits - 1``."""
+
+    def test_ts_at_epoch_maximum_clears_nothing(self):
+        """At ``Ts = 2**bits - 1`` no truncated Tc can exceed Ts — the
+        scan must keep every s-bit, on both paths."""
+        comp = make(8)
+        all_values = np.arange(256, dtype=np.int64)
+        for result in (
+            comp.compare_values(all_values, ts=255),
+            comp.fast_compare(all_values, ts=255),
+        ):
+            assert not result.reset_mask.any()
+
+    def test_full_ts_one_past_the_boundary_truncates_to_zero(self):
+        """``Ts = 2**bits`` (a full, untruncated time) lands at the start
+        of the next epoch: truncation maps it to 0, so every nonzero Tc
+        compares greater.  Passing the full value must behave exactly
+        like passing the pre-truncated one."""
+        comp = make(8)
+        values = np.array([0, 1, 200, 255], dtype=np.int64)
+        for method in (comp.compare_values, comp.fast_compare):
+            wrapped = method(values, ts=256)
+            pre_truncated = method(values, ts=0)
+            assert np.array_equal(wrapped.reset_mask, pre_truncated.reset_mask)
+            assert list(wrapped.reset_mask) == [False, True, True, True]
+
+    @settings(max_examples=100)
+    @given(
+        st.integers(2, 12).flatmap(
+            lambda bits: st.tuples(
+                st.just(bits),
+                st.lists(
+                    st.integers(0, (1 << bits) - 1), min_size=1, max_size=32
+                ),
+                st.integers(0, (1 << (bits + 4)) - 1),  # full, multi-epoch
+            )
+        )
+    )
+    def test_full_times_equal_pretruncated_times(self, args):
+        """For any full ``ts``, both paths give the same mask as the
+        explicitly pre-truncated ``ts`` — one truncation point, applied
+        exactly once."""
+        bits, tc_values, ts_full = args
+        comp = make(bits)
+        arr = np.array(tc_values, dtype=np.int64)
+        ts_trunc = ts_full & ((1 << bits) - 1)
+        gate = comp.compare_values(arr, ts_full)
+        fast = comp.fast_compare(arr, ts_full)
+        expected = [tc > ts_trunc for tc in tc_values]
+        assert list(gate.reset_mask) == expected
+        assert list(fast.reset_mask) == expected
+
+
+class TestEqualityKeepsSbit:
+    """``Tc == Ts`` must keep the s-bit: the paper clears only strictly
+    greater fill times, so a line filled in the same cycle as the
+    preemption stays visible."""
+
+    @settings(max_examples=100)
+    @given(
+        st.integers(2, 16).flatmap(
+            lambda bits: st.tuples(
+                st.just(bits),
+                st.integers(0, (1 << bits) - 1),
+                st.lists(
+                    st.integers(0, (1 << bits) - 1), min_size=0, max_size=16
+                ),
+            )
+        )
+    )
+    def test_tc_equal_ts_never_resets(self, args):
+        """Plant Tc == Ts among arbitrary neighbors: the equal word's
+        mask bit is False on the gate-level scan, the value wrapper, and
+        the vectorized path alike."""
+        bits, ts, others = args
+        comp = make(bits)
+        arr = np.array([ts] + others, dtype=np.int64)
+        sram = TransposeSram(words=len(arr), bits=bits)
+        sram.load_words(arr)
+        for result in (
+            comp.compare_sram(sram, ts),
+            comp.compare_values(arr, ts),
+            comp.fast_compare(arr, ts),
+        ):
+            assert not result.reset_mask[0]

@@ -1,11 +1,19 @@
 """Tests for the context-switch engine: save/restore/comparator update."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core.timecache import TimeCacheSystem
 
 from tests.conftest import tiny_config
+
+
+def _with_engine(cfg, engine):
+    return dataclasses.replace(
+        cfg, hierarchy=dataclasses.replace(cfg.hierarchy, engine=engine)
+    )
 
 
 @pytest.fixture
@@ -191,6 +199,69 @@ class TestRollover:
         assert not cost.rollover_reset
         r = system.load(0, 0x1000, now=10**15 + 10)
         assert not r.first_access  # untouched line, bit preserved
+
+
+class TestEpochBoundaryTs:
+    """Regression for the collapsed double truncation: a preemption at
+    ``Ts = 2**bits - 1`` — the last cycle of an epoch — must flow to the
+    comparator as the full time and truncate exactly once."""
+
+    @pytest.mark.parametrize("engine", ["object", "fast"])
+    def test_preemption_on_last_epoch_cycle_keeps_bits(self, engine):
+        """Ts = 255 at 8 bits: every in-epoch Tc is <= Ts, so the scan
+        clears nothing and the task's visibility survives intact."""
+        system = TimeCacheSystem(
+            _with_engine(tiny_config(timestamp_bits=8), engine)
+        )
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=200)  # Tc = 200
+        system.context_switch(1, 2, ctx=0, now=255)  # Ts = 2**8 - 1
+        cost = system.context_switch(2, 1, ctx=0, now=255)  # same cycle
+        assert not cost.rollover_reset
+        r = system.load(0, 0x1000, now=255)
+        assert not r.first_access
+
+    @pytest.mark.parametrize("engine", ["object", "fast"])
+    def test_line_filled_at_exact_preemption_time_keeps_bit(self, engine):
+        """Tc == Ts at the epoch boundary: a line (re)filled in the very
+        cycle of the switch is *not* cleared — the comparison is strictly
+        ``Tc > Ts``."""
+        system = TimeCacheSystem(
+            _with_engine(tiny_config(timestamp_bits=8), engine)
+        )
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=255)  # Tc = 255 == upcoming Ts
+        system.context_switch(1, 2, ctx=0, now=255)
+        system.context_switch(2, 1, ctx=0, now=255)
+        r = system.load(0, 0x1000, now=255)
+        assert not r.first_access
+
+    def test_refill_one_cycle_later_is_cleared(self):
+        """The contrast case: Tc = Ts + 1 (same epoch) must be cleared.
+        With Ts mid-epoch this isolates the strict comparison without a
+        rollover reset masking it."""
+        system = TimeCacheSystem(tiny_config(timestamp_bits=8))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=10)
+        system.context_switch(1, 2, ctx=0, now=100)  # Ts = 100
+        system.flush(0, 0x1000, now=100)
+        system.load(0, 0x1000, now=101)  # Tc = 101 > Ts
+        system.context_switch(2, 1, ctx=0, now=150)
+        r = system.load(0, 0x1000, now=151)
+        assert r.first_access
+
+    def test_refill_at_exact_preemption_time_keeps_bit_mid_epoch(self):
+        """Same contrast pair away from the boundary: a victim refill at
+        exactly Ts leaves the stale s-bit in place (equality keeps)."""
+        system = TimeCacheSystem(tiny_config(timestamp_bits=8))
+        system.context_switch(None, 1, ctx=0, now=0)
+        system.load(0, 0x1000, now=10)
+        system.context_switch(1, 2, ctx=0, now=100)  # Ts = 100
+        system.flush(0, 0x1000, now=100)
+        system.load(0, 0x1000, now=100)  # Tc = 100 == Ts
+        system.context_switch(2, 1, ctx=0, now=150)
+        r = system.load(0, 0x1000, now=151)
+        assert not r.first_access
 
 
 class TestGateLevelPath:

@@ -1,0 +1,226 @@
+"""Focused ``access_batch`` tests: boundary straddling and API contract.
+
+The differential fuzz in ``test_engine_equivalence.py`` covers random
+traces; here we pin down the *deliberately awkward* cases — partial
+batches that straddle flushes, capacity evictions, and context switches —
+plus the argument-validation contract, on both engines.
+"""
+
+import pytest
+
+from repro.common.config import scaled_experiment_config
+from repro.common.errors import SimulationError
+from repro.core import TimeCacheSystem
+from repro.memsys import AccessKind
+
+LINE = 64
+LOAD = AccessKind.LOAD
+STORE = AccessKind.STORE
+IFETCH = AccessKind.IFETCH
+
+
+def _config(engine, **tc):
+    cfg = scaled_experiment_config(seed=3, engine=engine)
+    if tc:
+        cfg = cfg.with_timecache(**tc)
+    return cfg
+
+
+def _snapshot(system):
+    final = {}
+    for cache in system.hierarchy.all_caches():
+        final[cache.name] = (
+            cache.sbits.tolist(),
+            cache.tc.tolist(),
+            cache.valid.tolist(),
+            sorted(cache.resident_line_addrs()),
+        )
+    return final
+
+
+def _observe(results):
+    return [(r.latency, r.level, r.first_access) for r in results]
+
+
+def _run_scalar(system, ctx, addrs, kinds, now, advance=1):
+    out = []
+    cursor = now
+    for addr, kind in zip(addrs, kinds):
+        result = system.access(ctx, addr, kind, cursor)
+        cursor += advance + result.latency
+        out.append(result)
+    return out, cursor
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+@pytest.mark.parametrize("tc_enabled", [False, True])
+def test_eviction_straddling_batch_matches_scalar(engine, tc_enabled):
+    """One big batch touching far more lines than the caches hold forces
+    fills and evictions mid-batch; results and state must match the
+    scalar loop exactly."""
+    # 600 distinct lines, revisited, overflow every level of the scaled
+    # config's hierarchy, so the vectorized path repeatedly falls back.
+    addrs = [(i * 37 % 600) * LINE for i in range(2000)]
+    kinds = [LOAD if i % 5 else IFETCH for i in range(2000)]
+    tc = {} if tc_enabled else {"enabled": False}
+    batched = TimeCacheSystem(_config(engine, **tc))
+    outcome = batched.access_batch(0, addrs, kinds, now=0, advance=1)
+    scalar = TimeCacheSystem(_config(engine, **tc))
+    expected, cursor = _run_scalar(scalar, 0, addrs, kinds, 0)
+    assert _observe(outcome.results) == _observe(expected)
+    assert outcome.now == cursor
+    assert _snapshot(batched) == _snapshot(scalar)
+    assert batched.stats_snapshot() == scalar.stats_snapshot()
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_flush_boundary_between_batches(engine):
+    """Flushes between partial batches must behave exactly like flushes
+    between scalar accesses (invalidation, then first-access refills)."""
+    addrs = [i * LINE for i in range(48)]
+    batched = TimeCacheSystem(_config(engine))
+    scalar = TimeCacheSystem(_config(engine))
+
+    first = batched.access_batch(0, addrs, LOAD, now=0, advance=1)
+    ref_first, cursor = _run_scalar(scalar, 0, addrs, [LOAD] * 48, 0)
+    for addr in addrs[::3]:
+        batched.flush(0, addr, first.now)
+        scalar.flush(0, addr, cursor)
+    second = batched.access_batch(0, addrs, LOAD, now=first.now, advance=1)
+    ref_second, _ = _run_scalar(scalar, 0, addrs, [LOAD] * 48, cursor)
+
+    assert _observe(first.results) == _observe(ref_first)
+    assert _observe(second.results) == _observe(ref_second)
+    # The flushed lines leave L1 and miss again; the untouched lines in
+    # between still hit there.
+    assert all(r.level != "L1" for r in second.results[::3])
+    assert all(r.level == "L1" for r in second.results[1::3])
+    assert _snapshot(batched) == _snapshot(scalar)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_context_switch_between_batches(engine):
+    """A context switch between partial batches: the incoming task's
+    s-bits get comparator-repaired, so re-accesses slow down identically
+    on both paths."""
+    addrs = [i * LINE for i in range(40)]
+    batched = TimeCacheSystem(_config(engine))
+    scalar = TimeCacheSystem(_config(engine))
+
+    b1 = batched.access_batch(0, addrs, LOAD, now=0, advance=1)
+    _, cursor = _run_scalar(scalar, 0, addrs, [LOAD] * 40, 0)
+    cost_b = batched.context_switch(0, 1, 0, b1.now)
+    cost_s = scalar.context_switch(0, 1, 0, cursor)
+    assert (cost_b.dma_cycles, cost_b.comparator_cycles) == (
+        cost_s.dma_cycles,
+        cost_s.comparator_cycles,
+    )
+    b2 = batched.access_batch(0, addrs, LOAD, now=b1.now, advance=1)
+    ref2, _ = _run_scalar(scalar, 0, addrs, [LOAD] * 40, cursor)
+    assert _observe(b2.results) == _observe(ref2)
+    # New task, no saved s-bits: every re-access is a first access again.
+    assert all(r.first_access for r in b2.results)
+    assert _snapshot(batched) == _snapshot(scalar)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_store_heavy_and_mixed_kind_batches(engine):
+    """Uniform-store batches (a permanent fallback on the fast engine)
+    and interleaved load/store/ifetch batches both match the scalar
+    loop."""
+    addrs = [(i % 37) * LINE for i in range(150)]
+    stores = TimeCacheSystem(_config(engine))
+    out = stores.access_batch(0, addrs, STORE, now=5, advance=1)
+    ref_sys = TimeCacheSystem(_config(engine))
+    ref, cursor = _run_scalar(ref_sys, 0, addrs, [STORE] * 150, 5)
+    assert _observe(out.results) == _observe(ref)
+    assert out.now == cursor
+    assert _snapshot(stores) == _snapshot(ref_sys)
+
+    kinds = [(LOAD, STORE, IFETCH)[i % 3] for i in range(150)]
+    mixed = TimeCacheSystem(_config(engine))
+    out2 = mixed.access_batch(0, addrs, kinds, now=5, advance=1)
+    ref_sys2 = TimeCacheSystem(_config(engine))
+    ref2, cursor2 = _run_scalar(ref_sys2, 0, addrs, kinds, 5)
+    assert _observe(out2.results) == _observe(ref2)
+    assert out2.now == cursor2
+    assert _snapshot(mixed) == _snapshot(ref_sys2)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_small_batch_and_empty_batch(engine):
+    """Batches below the fast engine's vectorization threshold (and the
+    empty batch) still go through the API and match the scalar loop."""
+    system = TimeCacheSystem(_config(engine))
+    empty = system.access_batch(0, [], LOAD, now=9)
+    assert empty.results == [] and empty.now == 9
+
+    addrs = [i * LINE for i in range(5)]
+    out = system.access_batch(0, addrs, LOAD, now=9, advance=1)
+    ref_sys = TimeCacheSystem(_config(engine))
+    _run_scalar(ref_sys, 0, [], [], 0)
+    ref, cursor = _run_scalar(ref_sys, 0, addrs, [LOAD] * 5, 9)
+    assert _observe(out.results) == _observe(ref)
+    assert out.now == cursor
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_advance_zero_charges_latency_only(engine):
+    system = TimeCacheSystem(_config(engine))
+    addrs = [i * LINE for i in range(40)]
+    out = system.access_batch(0, addrs, LOAD, now=0, advance=0)
+    assert out.now == sum(r.latency for r in out.results)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_batch_argument_validation(engine):
+    """Bad arguments raise SimulationError on both engines — including
+    batches large enough to take the fast engine's vectorized path."""
+    system = TimeCacheSystem(_config(engine))
+    many = [i * LINE for i in range(64)]
+    with pytest.raises(SimulationError, match="advance"):
+        system.access_batch(0, many, LOAD, advance=-1)
+    with pytest.raises(SimulationError):
+        system.access_batch(0, many, [LOAD, STORE])  # wrong kinds length
+    with pytest.raises(SimulationError, match="non-decreasing"):
+        system.access_batch(0, many, LOAD, nows=list(range(63, -1, -1)))
+    with pytest.raises(SimulationError):
+        system.access_batch(0, many, LOAD, nows=[0, 1, 2])  # wrong length
+    with pytest.raises(SimulationError, match="out of range"):
+        system.access_batch(99, many, LOAD)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_nows_pins_issue_times(engine):
+    """Explicit per-access issue times: results match issuing each access
+    scalar at the same pinned time, and the returned now is the last
+    pinned time."""
+    addrs = [(i % 50) * LINE for i in range(200)]
+    nows = [i * 3 for i in range(200)]
+    system = TimeCacheSystem(_config(engine))
+    out = system.access_batch(0, addrs, LOAD, nows=nows)
+    ref_sys = TimeCacheSystem(_config(engine))
+    ref = [ref_sys.access(0, a, LOAD, t) for a, t in zip(addrs, nows)]
+    assert _observe(out.results) == _observe(ref)
+    assert out.now == nows[-1]
+    assert _snapshot(system) == _snapshot(ref_sys)
+
+
+def test_fast_and_object_batches_agree_with_listeners():
+    """An attached post-access listener forces the fast engine's batch
+    through the scalar reference path; both engines must still agree."""
+    seen = {"object": [], "fast": []}
+    outs = {}
+    for engine in ("object", "fast"):
+        system = TimeCacheSystem(_config(engine))
+        record = seen[engine].append
+        system.hierarchy.post_access_listeners.append(
+            lambda ctx, addr, kind, now, result, record=record: record(
+                (ctx, addr, kind, now, result.latency)
+            )
+        )
+        addrs = [(i * 11 % 90) * LINE for i in range(120)]
+        outs[engine] = system.access_batch(0, addrs, LOAD, now=0, advance=1)
+    assert seen["object"] == seen["fast"]
+    assert _observe(outs["object"].results) == _observe(outs["fast"].results)
+    assert outs["object"].now == outs["fast"].now

@@ -106,13 +106,28 @@ SCENARIOS = {
 }
 
 
-def _run_trace(config, seed, contexts, switches, n=500, pool=192, traced=False):
+def _run_trace(
+    config,
+    seed,
+    contexts,
+    switches,
+    n=500,
+    pool=192,
+    traced=False,
+    batched=False,
+):
     """Drive one system with a seeded random trace; return observables.
 
     With ``traced`` an obs Tracer is attached for the whole trace and the
     emitted event stream comes back as the fourth observable — on the fast
     engine the listener forces every access through the event-emitting
     slow routes, so this also fuzzes those against the object model.
+
+    With ``batched`` the *identical* (ctx, addr, kind, now) stream is
+    issued through ``access_batch`` in randomly sized same-context
+    chunks (pinned issue times via ``nows``), with context switches as
+    batch boundaries — the split sizes come from a separate rng so the
+    trace itself is unchanged.
     """
     system = TimeCacheSystem(config)
     tracer = ring = None
@@ -127,14 +142,41 @@ def _run_trace(config, seed, contexts, switches, n=500, pool=192, traced=False):
     now = 0
     task_of_ctx = {ctx: ctx for ctx in range(contexts)}
     next_task = contexts
+    split_rng = DeterministicRng(seed * 104_729 + 7)
+    pending = []  # same-context (addr, kind, now) accesses not yet issued
+    pending_ctx = None
+    limit = split_rng.randint(1, 120)
+
+    def flush_pending():
+        nonlocal limit
+        if not pending:
+            return
+        outcome = system.access_batch(
+            pending_ctx,
+            [p[0] for p in pending],
+            [p[1] for p in pending],
+            nows=[p[2] for p in pending],
+        )
+        for result in outcome.results:
+            events.append((result.latency, result.level, result.first_access))
+        pending.clear()
+        limit = split_rng.randint(1, 120)
+
     for i in range(n):
         now += rng.randint(1, 50)
         ctx = rng.randint(0, contexts - 1) if contexts > 1 else 0
         addr = rng.randint(0, pool - 1) << 6
         kind = KINDS[rng.randint(0, len(KINDS) - 1)]
-        result = system.access(ctx, addr, kind, now)
-        events.append((result.latency, result.level, result.first_access))
+        if batched:
+            if pending and (pending_ctx != ctx or len(pending) >= limit):
+                flush_pending()
+            pending_ctx = ctx
+            pending.append((addr, kind, now))
+        else:
+            result = system.access(ctx, addr, kind, now)
+            events.append((result.latency, result.level, result.first_access))
         if switches and i % 97 == 96:
+            flush_pending()
             ctx = rng.randint(0, contexts - 1) if contexts > 1 else 0
             if rng.randint(0, 2) == 0:
                 next_task += 1
@@ -149,6 +191,7 @@ def _run_trace(config, seed, contexts, switches, n=500, pool=192, traced=False):
                     cost.rollover_reset,
                 )
             )
+    flush_pending()
     final = {}
     for cache in system.hierarchy.all_caches():
         final[cache.name] = (
@@ -183,6 +226,28 @@ def test_engines_agree(scenario, seed):
     assert obj[2] == fast[2], f"{scenario}: final cache state diverges"
 
 
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", range(10))
+def test_batched_path_matches_scalar(scenario, seed):
+    """``access_batch`` must be bit-identical to the scalar loop — access
+    results, switch costs, stats, and final s-bits/Tc — on both engines,
+    with batches split at random sizes and every context switch."""
+    make_config, contexts, switches = SCENARIOS[scenario]
+    scalar = _run_trace(make_config("fast", seed), seed, contexts, switches)
+    batched = _run_trace(
+        make_config("fast", seed), seed, contexts, switches, batched=True
+    )
+    obj_batched = _run_trace(
+        make_config("object", seed), seed, contexts, switches, batched=True
+    )
+    assert batched[0] == scalar[0], f"{scenario}: batched results diverge"
+    assert batched[1] == scalar[1], f"{scenario}: batched stats diverge"
+    assert batched[2] == scalar[2], f"{scenario}: batched final state diverges"
+    assert obj_batched[0] == scalar[0], f"{scenario}: object batch diverges"
+    assert obj_batched[1] == scalar[1], f"{scenario}: object batch stats"
+    assert obj_batched[2] == scalar[2], f"{scenario}: object batch state"
+
+
 #: scenarios re-fuzzed with a tracer attached (subset: traced runs take the
 #: fast engine's slow routes, so the cheap scenarios cover the event paths)
 TRACED_SCENARIOS = (
@@ -210,6 +275,29 @@ def test_engines_emit_identical_event_streams(scenario, seed):
     assert obj[0] == fast[0], f"{scenario}: access/switch streams diverge"
     assert obj[1] == fast[1], f"{scenario}: stats snapshots diverge"
     assert obj[2] == fast[2], f"{scenario}: final cache state diverges"
+
+
+@pytest.mark.parametrize("scenario", TRACED_SCENARIOS)
+@pytest.mark.parametrize("seed", range(3))
+def test_batched_traced_event_streams(scenario, seed):
+    """With a tracer attached the batched path (which then takes the
+    scalar reference route) must emit the identical event stream."""
+    make_config, contexts, switches = SCENARIOS[scenario]
+    scalar = _run_trace(
+        make_config("fast", seed), seed, contexts, switches, traced=True
+    )
+    batched = _run_trace(
+        make_config("fast", seed),
+        seed,
+        contexts,
+        switches,
+        traced=True,
+        batched=True,
+    )
+    assert batched[3] == scalar[3], f"{scenario}: traced streams diverge"
+    assert batched[0] == scalar[0], f"{scenario}: batched results diverge"
+    assert batched[1] == scalar[1], f"{scenario}: batched stats diverge"
+    assert batched[2] == scalar[2], f"{scenario}: batched state diverges"
 
 
 def test_fast_engine_rejects_unsupported_policy():
