@@ -10,20 +10,30 @@ Usage (also available as ``python -m repro``):
     python -m repro fig10                  # LLC size sensitivity
     python -m repro attacks                # Section VII attack battery
     python -m repro faults --quick         # fault-injection detection matrix
+    python -m repro chaos --quick          # orchestration chaos scorecard
     python -m repro bench --quick          # perf harness, BENCH_*.json
     python -m repro trace                  # traced flush+reload + manifest
     python -m repro obs summarize T.jsonl  # inspect a trace stream
 
 Each command prints the artifact in the paper's layout; ``--instructions``
-scales simulation length (longer = tighter match, slower).  ``table2`` and
-``export`` accept ``--resume CHECKPOINT.json`` to run under the resilient
-sweep runner: failures are retried then recorded, completed experiments
-are checkpointed, and a rerun with the same file picks up where it left
-off.
+scales simulation length (longer = tighter match, slower).  ``table2``,
+``fig8``, ``fig9`` and ``export`` accept ``--resume CHECKPOINT.json`` to
+run under the resilient sweep runner: failures are retried then
+quarantined with provenance, completed experiments are checkpointed, and
+a rerun with the same file picks up where it left off.
 
 ``--jobs N`` fans the sweep commands out across ``N`` worker processes
 (default: one per CPU; ``--jobs 1`` forces the serial path).  Results are
 identical either way — see docs/internals.md §9.
+
+Exit codes follow one contract across the sweep commands:
+
+* ``0`` — full success, every cell produced a result;
+* ``3`` (``EXIT_PARTIAL``) — the sweep finished but one or more cells
+  were quarantined; the printed artifact carries explicit gap markers
+  and a one-line quarantine summary names each FailureRecord file;
+* ``1`` — fatal: nothing usable was produced (also the generic error
+  exit for any uncaught :class:`~repro.common.errors.ReproError`).
 
 ``--quiet`` (global or per-command) suppresses progress chatter; the
 paper artifacts themselves — tables, figures, attack outcomes — are
@@ -59,6 +69,18 @@ from repro.workloads.mixes import (
     SPEC_MIXED_PAIRS,
     SPEC_SAME_PAIRS,
 )
+
+#: the sweep-command exit contract (see the module docstring)
+EXIT_OK = 0
+EXIT_FATAL = 1
+EXIT_PARTIAL = 3
+
+
+def _quarantine_dir_for(checkpoint_path: str) -> Path:
+    """Where FailureRecords land for a resumable sweep: next to (and
+    named after) its checkpoint file."""
+    path = Path(checkpoint_path)
+    return path.parent / (path.name + ".quarantine")
 
 
 def _cmd_micro(args: argparse.Namespace) -> int:
@@ -106,12 +128,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             checkpoint_path=args.resume,
             jobs=args.jobs,
             engine=args.engine,
+            quarantine_dir=_quarantine_dir_for(args.resume),
         )
-        _report_sweep_outcome(args.console, outcome)
+        status = _report_sweep_outcome(args.console, outcome)
         labels = [pair_label(a, b) for a, b in pairs]
         results = outcome.ordered_results(labels)
         if not results:
-            return 1
+            return EXIT_FATAL
+        gaps = [label for label in labels if label not in outcome.results]
     else:
         results = spec_pair_sweep(
             pairs=pairs,
@@ -119,15 +143,21 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
         )
-    args.console.result(render_table2(results, paper=PAPER_TABLE2_SPEC))
+        status, gaps = EXIT_OK, []
+    args.console.result(
+        render_table2(results, paper=PAPER_TABLE2_SPEC, gaps=gaps)
+    )
     summary = summarize_overheads(results)
     args.console.result(
         f"\ngeomean overhead {summary['geomean_overhead']:.4f} (paper 0.0113)"
     )
-    return 0
+    return status
 
 
-def _report_sweep_outcome(console: Console, outcome) -> None:
+def _report_sweep_outcome(console: Console, outcome) -> int:
+    """Narrate a resilient sweep's outcome; the return value is the
+    command's exit status under the 0/3/1 contract (``EXIT_PARTIAL``
+    when anything was quarantined, else ``EXIT_OK``)."""
     if outcome.resumed:
         console.info(
             f"resumed {len(outcome.resumed)} completed experiment(s) "
@@ -138,32 +168,82 @@ def _report_sweep_outcome(console: Console, outcome) -> None:
             f"FAILED {failure.label}: {failure.error_type}: "
             f"{failure.message} (after {failure.attempts} attempts)"
         )
+    if outcome.failures:
+        where = ", ".join(
+            f"{f.label} ({f.record_path or 'no record file'})"
+            for f in outcome.failures
+        )
+        console.error(
+            f"quarantined {len(outcome.failures)} job(s): {where}"
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
     pairs = SPEC_SAME_PAIRS[: args.pairs or 6]
-    results = spec_pair_sweep(
-        pairs=pairs,
-        instructions=args.instructions,
-        jobs=args.jobs,
-        engine=args.engine,
-    )
-    args.console.result(render_mpki_table(results))
-    return 0
+    if args.resume:
+        from repro.analysis.runner import resilient_spec_pair_sweep
+        from repro.workloads.mixes import pair_label
+
+        outcome = resilient_spec_pair_sweep(
+            pairs=pairs,
+            instructions=args.instructions,
+            checkpoint_path=args.resume,
+            jobs=args.jobs,
+            engine=args.engine,
+            quarantine_dir=_quarantine_dir_for(args.resume),
+        )
+        status = _report_sweep_outcome(args.console, outcome)
+        labels = [pair_label(a, b) for a, b in pairs]
+        results = outcome.ordered_results(labels)
+        if not results:
+            return EXIT_FATAL
+        gaps = [label for label in labels if label not in outcome.results]
+    else:
+        results = spec_pair_sweep(
+            pairs=pairs,
+            instructions=args.instructions,
+            jobs=args.jobs,
+            engine=args.engine,
+        )
+        status, gaps = EXIT_OK, []
+    args.console.result(render_mpki_table(results, gaps=gaps))
+    return status
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
     benchmarks = PARSEC_BENCHMARKS[: args.pairs or None]
-    results = parsec_sweep(
-        benchmarks=benchmarks,
-        instructions_per_thread=args.instructions,
-        jobs=args.jobs,
-        engine=args.engine,
+    if args.resume:
+        from repro.analysis.runner import resilient_parsec_sweep
+
+        outcome = resilient_parsec_sweep(
+            benchmarks=benchmarks,
+            instructions_per_thread=args.instructions,
+            checkpoint_path=args.resume,
+            jobs=args.jobs,
+            engine=args.engine,
+            quarantine_dir=_quarantine_dir_for(args.resume),
+        )
+        status = _report_sweep_outcome(args.console, outcome)
+        results = outcome.ordered_results(list(benchmarks))
+        if not results:
+            return EXIT_FATAL
+        gaps = [b for b in benchmarks if b not in outcome.results]
+    else:
+        results = parsec_sweep(
+            benchmarks=benchmarks,
+            instructions_per_thread=args.instructions,
+            jobs=args.jobs,
+            engine=args.engine,
+        )
+        status, gaps = EXIT_OK, []
+    args.console.result(
+        render_table2(results, paper=PAPER_TABLE2_PARSEC, gaps=gaps)
     )
-    args.console.result(render_table2(results, paper=PAPER_TABLE2_PARSEC))
     args.console.result("")
-    args.console.result(render_mpki_table(results))
-    return 0
+    args.console.result(render_mpki_table(results, gaps=gaps))
+    return status
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
@@ -210,12 +290,13 @@ def _cmd_export(args: argparse.Namespace) -> int:
             checkpoint_path=args.resume,
             jobs=args.jobs,
             engine=args.engine,
+            quarantine_dir=_quarantine_dir_for(args.resume),
         )
-        _report_sweep_outcome(args.console, outcome)
+        status = _report_sweep_outcome(args.console, outcome)
         labels = [pair_label(a, b) for a, b in pairs]
         path = export_outcome(outcome, labels, args.output)
         args.console.result(f"wrote {len(outcome.results)} results to {path}")
-        return 0
+        return status
     results = spec_pair_sweep(
         pairs=pairs,
         instructions=args.instructions,
@@ -239,6 +320,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         f"{matrix.silent_total} silent"
     )
     return 1 if matrix.silent_total else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Orchestration-level chaos campaign: kill/hang workers, corrupt
+    checkpoint bytes, inject IO errors — all from a seeded plan — and
+    score how the robustness layer coped.  Exit 1 if anything was
+    *silent* (wrong data with no recorded error); quarantined-but-loud
+    failures are the system working as designed, so they exit 0."""
+    from repro.robustness.chaos import DEFAULT_QUICK_COUNTS, run_chaos_campaign
+
+    console = args.console
+    counts = None
+    if args.injections is not None:
+        from repro.robustness.chaos import CHAOS_MODELS
+
+        counts = {model: args.injections for model in CHAOS_MODELS}
+    elif args.quick:
+        counts = dict(DEFAULT_QUICK_COUNTS)
+    scorecard = run_chaos_campaign(
+        seed=args.seed,
+        counts=counts,
+        jobs=args.jobs or 2,
+        workdir=args.workdir,
+    )
+    console.result(scorecard.render())
+    console.result(
+        f"\n{scorecard.total} injections (seed {scorecard.seed}): "
+        f"{sum(scorecard.recovered.values())} recovered, "
+        f"{sum(scorecard.quarantined.values())} quarantined loudly, "
+        f"{scorecard.silent_total} silent"
+    )
+    if args.output:
+        from repro.robustness import safeio
+
+        path = safeio.write_json_atomic(scorecard.to_dict(), args.output)
+        console.info(f"wrote {path}")
+    return EXIT_FATAL if scorecard.silent_total else EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -437,13 +555,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--pairs", type=int, default=0, help="limit the workload count"
         )
-        if name == "table2":
+        if name in ("table2", "fig8", "fig9"):
             p.add_argument(
                 "--resume",
                 metavar="CHECKPOINT",
                 default=None,
                 help="run resiliently, checkpointing to (and resuming "
-                "from) this JSON file",
+                "from) this JSON file; quarantined cells land in "
+                "CHECKPOINT.quarantine/ and the command exits 3",
             )
     compare = sub.add_parser(
         "compare",
@@ -480,6 +599,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="CI smoke mode: 3 injections per model",
+    )
+    chaos = sub.add_parser(
+        "chaos",
+        help="orchestration chaos campaign: kill/hang/corrupt/io_error "
+        "against the sweep layer, prints a resilience scorecard",
+        parents=[quiet_parent],
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="the CI mix: >=50 seeded injections across all four models",
+    )
+    chaos.add_argument(
+        "--injections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="N injections per chaos model (overrides --quick)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker slots for the sabotaged mini-sweeps (default 2)",
+    )
+    chaos.add_argument(
+        "--output",
+        metavar="SCORECARD.json",
+        default=None,
+        help="also write the scorecard as JSON (crash-safely)",
+    )
+    chaos.add_argument(
+        "--workdir",
+        default=None,
+        help="keep campaign artifacts here instead of a temp dir",
     )
     bench = sub.add_parser(
         "bench",
@@ -588,6 +742,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "export": _cmd_export,
     "faults": _cmd_faults,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "obs": _cmd_obs,
@@ -595,10 +750,17 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.common.errors import ReproError
+
     args = build_parser().parse_args(argv)
     args.console = Console(quiet=args.quiet)
     args.argv = list(argv) if argv is not None else sys.argv[1:]
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        # Fatal under the exit contract: nothing usable was produced.
+        args.console.error(f"fatal: {type(error).__name__}: {error}")
+        return EXIT_FATAL
 
 
 if __name__ == "__main__":  # pragma: no cover

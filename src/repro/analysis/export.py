@@ -17,7 +17,6 @@ Schema (version 1)::
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Dict, List, Mapping, Sequence, Union
 
@@ -116,6 +115,11 @@ def outcome_to_dict(
     payload = sweep_to_dict(outcome.ordered_results(labels), kind=kind)
     payload["failures"] = [f.to_dict() for f in outcome.failures]
     payload["resumed"] = sorted(outcome.resumed)
+    # Explicit gap markers: labels that produced no result.  A partial
+    # export names what is missing instead of silently shrinking.
+    payload["gaps"] = [
+        label for label in labels if label not in outcome.results
+    ]
     return payload
 
 
@@ -149,23 +153,27 @@ def comparison_to_dict(comparison: DefenseComparison) -> Dict:
 
 
 def save_json(payload: Mapping, path: Union[str, Path]) -> Path:
-    """Write a payload as pretty-printed JSON; returns the path."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    with open(target, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return target
+    """Write a payload as pretty-printed JSON; returns the path.
+
+    Writes crash-safely (atomic temp+fsync+rename, content checksum,
+    rotated ``.bak``) via :mod:`repro.robustness.safeio` — every JSON
+    artifact the repo publishes survives a kill mid-write.
+    """
+    from repro.robustness import safeio
+
+    return safeio.write_json_atomic(payload, path)
 
 
 def load_json(path: Union[str, Path]) -> Dict:
-    with open(path) as handle:
-        payload = json.load(handle)
-    if payload.get("schema") != SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported result schema {payload.get('schema')!r}"
-        )
-    return payload
+    """Load an exported payload, verifying its checksum when present.
+
+    Schema mismatch and corruption both raise ``ValueError``
+    (:class:`~repro.common.errors.CheckpointCorruptionError` is a
+    subclass, so historic callers keep working).
+    """
+    from repro.robustness import safeio
+
+    return safeio.read_json_verified(path, expected_schema=SCHEMA_VERSION)
 
 
 def export_sweep(

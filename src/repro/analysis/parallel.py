@@ -51,6 +51,7 @@ from repro.robustness.resilience import (
     Checkpoint,
     FailureRecord,
     SweepOutcome,
+    format_exception,
     run_resilient_jobs,
 )
 
@@ -97,6 +98,10 @@ class SweepJob:
     fn: Callable[..., object]
     args: Tuple = ()
     kwargs: Dict = field(default_factory=dict)
+    #: optional provenance stamped onto a FailureRecord if this job is
+    #: quarantined (keys: seed, engine, config_sha256, batch_window,
+    #: manifest_id) — see FailureRecord.apply_provenance
+    provenance: Dict = field(default_factory=dict)
 
     def run(self) -> object:
         return self.fn(*self.args, **self.kwargs)
@@ -117,6 +122,7 @@ class _Attempt:
     error_type: str = ""
     message: str = ""
     duration_s: float = 0.0
+    traceback: str = ""
 
 
 def _execute_job(
@@ -162,6 +168,7 @@ def _execute_job(
         error_type=type(error).__name__,
         message=str(error),
         duration_s=time.perf_counter() - started,
+        traceback=format_exception(error),
     )
 
 
@@ -309,7 +316,9 @@ class ParallelSweepExecutor:
                         )
                     else:
                         if checkpoint is not None:
-                            checkpoint.record_failure(_attempt_failure(attempt))
+                            checkpoint.record_failure(
+                                _attempt_failure(attempt, job)
+                            )
                         self._job_event(
                             attempt.label,
                             "failed",
@@ -330,7 +339,7 @@ class ParallelSweepExecutor:
             if attempt.ok:
                 outcome.results[job.label] = attempt.result
             else:
-                outcome.failures.append(_attempt_failure(attempt))
+                outcome.failures.append(_attempt_failure(attempt, job))
         return outcome
 
     def map(self, sweep_jobs: Sequence[SweepJob]) -> List[object]:
@@ -348,13 +357,19 @@ class ParallelSweepExecutor:
         return outcome.ordered_results([job.label for job in sweep_jobs])
 
 
-def _attempt_failure(attempt: _Attempt) -> FailureRecord:
-    return FailureRecord(
+def _attempt_failure(
+    attempt: _Attempt, job: Optional[SweepJob] = None
+) -> FailureRecord:
+    record = FailureRecord(
         label=attempt.label,
         attempts=attempt.attempts,
         error_type=attempt.error_type,
         message=attempt.message,
+        traceback=attempt.traceback,
     )
+    if job is not None:
+        record.apply_provenance(job.provenance)
+    return record
 
 
 def run_sweep_jobs(

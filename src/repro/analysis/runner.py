@@ -29,17 +29,35 @@ from repro.analysis.experiment import (
 )
 from repro.analysis.parallel import ParallelSweepExecutor, SweepJob
 from repro.common.config import SimConfig, scaled_experiment_config
+from repro.obs.manifest import config_fingerprint
 from repro.robustness.resilience import (
     Checkpoint,
     SweepOutcome,
     run_resilient_jobs,
 )
+from repro.robustness.supervisor import SupervisedSweepExecutor
 from repro.workloads.mixes import (
     PARSEC_BENCHMARKS,
     SPEC_MIXED_PAIRS,
     SPEC_SAME_PAIRS,
     pair_label,
 )
+
+
+def _sweep_provenance(config: SimConfig, seed: int) -> Dict[str, object]:
+    """Per-job provenance stamped onto FailureRecords by the supervised
+    executor: enough to re-run (and blame) one quarantined cell."""
+    from repro.memsys.fastengine import FastHierarchy
+
+    engine = config.hierarchy.engine
+    return {
+        "seed": seed,
+        "engine": engine,
+        "config_sha256": config_fingerprint(config),
+        "batch_window": (
+            FastHierarchy._BATCH_WINDOW_MAX if engine == "fast" else None
+        ),
+    }
 
 
 def _spec_pair_jobs(
@@ -51,6 +69,7 @@ def _spec_pair_jobs(
     label_prefix: str = "",
 ) -> List[SweepJob]:
     """Picklable job list for a SPEC pair sweep (one cell per pair)."""
+    provenance = _sweep_provenance(config, seed)
     jobs: List[SweepJob] = []
     for a, b in pairs:
         label = label_prefix + pair_label(a, b)
@@ -61,7 +80,14 @@ def _spec_pair_jobs(
             args=(a, b),
             kwargs={"instructions": instructions, "seed": seed, "budget": budget},
         )
-        jobs.append(SweepJob(label=label, fn=run_experiment_job, args=(spec,)))
+        jobs.append(
+            SweepJob(
+                label=label,
+                fn=run_experiment_job,
+                args=(spec,),
+                provenance=dict(provenance),
+            )
+        )
     return jobs
 
 
@@ -73,6 +99,7 @@ def _parsec_jobs(
     budget: Optional[SimulationBudget] = None,
 ) -> List[SweepJob]:
     """Picklable job list for a PARSEC sweep (one cell per benchmark)."""
+    provenance = _sweep_provenance(config, seed)
     jobs: List[SweepJob] = []
     for bench in benchmarks:
         spec = ExperimentJob(
@@ -86,7 +113,14 @@ def _parsec_jobs(
                 "budget": budget,
             },
         )
-        jobs.append(SweepJob(label=bench, fn=run_experiment_job, args=(spec,)))
+        jobs.append(
+            SweepJob(
+                label=bench,
+                fn=run_experiment_job,
+                args=(spec,),
+                provenance=dict(provenance),
+            )
+        )
     return jobs
 
 
@@ -209,6 +243,9 @@ def resilient_spec_pair_sweep(
     backoff_s: float = 0.5,
     jobs: Optional[int] = 1,
     engine: str = "object",
+    deadline_s: Optional[float] = None,
+    quarantine_dir: Optional[Union[str, Path]] = None,
+    manifest_id: str = "",
 ) -> SweepOutcome:
     """:func:`spec_pair_sweep` under the resilient runner.
 
@@ -216,9 +253,14 @@ def resilient_spec_pair_sweep(
     ultimately becomes a ``FailureRecord`` instead of sinking the sweep;
     ``checkpoint_path`` enables resume — completed pairs are loaded, not
     re-simulated, and previously failed pairs get a fresh chance.  With
-    ``jobs != 1`` the pairs run across a process pool with identical
-    retry/checkpoint/resume semantics (see
-    :class:`~repro.analysis.parallel.ParallelSweepExecutor`).
+    ``jobs != 1`` the pairs run under the supervised executor
+    (:class:`~repro.robustness.supervisor.SupervisedSweepExecutor`):
+    one worker process per in-flight pair with heartbeat monitoring, so
+    a crashed worker is detected and rescheduled and (with
+    ``deadline_s``) a hung worker is killed at the deadline.  Poison
+    pairs are quarantined with full provenance under ``quarantine_dir``.
+    Retry/checkpoint/resume semantics and the results themselves are
+    identical to the serial path.
     """
     config = scaled_experiment_config(
         num_cores=1, llc_kib=llc_kib, seed=seed, engine=engine
@@ -238,12 +280,15 @@ def resilient_spec_pair_sweep(
             backoff_s=backoff_s,
             checkpoint=_result_checkpoint(checkpoint_path),
         )
-    executor = ParallelSweepExecutor(
+    executor = SupervisedSweepExecutor(
         jobs,
         retries=retries,
         backoff_s=backoff_s,
+        deadline_s=deadline_s,
         checkpoint=_result_checkpoint(checkpoint_path),
         base_seed=seed,
+        quarantine_dir=quarantine_dir,
+        manifest_id=manifest_id,
     )
     return executor.run(_spec_pair_jobs(config, pairs, instructions, seed, budget))
 
@@ -259,9 +304,13 @@ def resilient_parsec_sweep(
     backoff_s: float = 0.5,
     jobs: Optional[int] = 1,
     engine: str = "object",
+    deadline_s: Optional[float] = None,
+    quarantine_dir: Optional[Union[str, Path]] = None,
+    manifest_id: str = "",
 ) -> SweepOutcome:
     """:func:`parsec_sweep` under the resilient runner (see
-    :func:`resilient_spec_pair_sweep` for the failure semantics)."""
+    :func:`resilient_spec_pair_sweep` for the failure and supervision
+    semantics)."""
     config = scaled_experiment_config(
         num_cores=2, llc_kib=llc_kib, seed=seed, engine=engine
     )
@@ -284,12 +333,15 @@ def resilient_parsec_sweep(
             backoff_s=backoff_s,
             checkpoint=_result_checkpoint(checkpoint_path),
         )
-    executor = ParallelSweepExecutor(
+    executor = SupervisedSweepExecutor(
         jobs,
         retries=retries,
         backoff_s=backoff_s,
+        deadline_s=deadline_s,
         checkpoint=_result_checkpoint(checkpoint_path),
         base_seed=seed,
+        quarantine_dir=quarantine_dir,
+        manifest_id=manifest_id,
     )
     return executor.run(
         _parsec_jobs(config, benchmarks, instructions_per_thread, seed, budget)

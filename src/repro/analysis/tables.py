@@ -11,11 +11,16 @@ from repro.common.units import geometric_mean
 def render_table2(
     results: Sequence[ExperimentResult],
     paper: Optional[Mapping[str, Tuple[float, float, float]]] = None,
+    gaps: Sequence[str] = (),
 ) -> str:
     """Table II layout: workload, normalized time, baseline/TimeCache MPKI.
 
     When ``paper`` is given, the published numbers are printed alongside
-    the measured ones for the EXPERIMENTS.md comparison.
+    the measured ones for the EXPERIMENTS.md comparison.  ``gaps`` lists
+    workloads that produced no result (quarantined by the resilient
+    runner): each gets an explicit placeholder row and the geomean is
+    flagged as partial, so a degraded table can never pass for a
+    complete one.
     """
     lines: List[str] = []
     header = (
@@ -35,17 +40,33 @@ def render_table2(
             p = paper[result.label]
             row += f"   {p[0]:>9.4f} {p[1]:>10.4f} {p[2]:>9.4f}"
         lines.append(row)
+    for label in gaps:
+        lines.append(
+            f"{label:<18} {'--':>9} {'--':>10} {'--':>9}   [quarantined]"
+        )
     ratios = [r.normalized_time for r in results]
     if ratios:
         lines.append("-" * len(header))
+        geomean_label = "geomean*" if gaps else "geomean"
         lines.append(
-            f"{'geomean':<18} {geometric_mean(ratios):>9.4f}"
+            f"{geomean_label:<18} {geometric_mean(ratios):>9.4f}"
+        )
+    if gaps:
+        lines.append(
+            f"* partial: {len(results)} of {len(results) + len(gaps)} "
+            f"workloads (gaps quarantined, excluded from the geomean)"
         )
     return "\n".join(lines)
 
 
-def render_mpki_table(results: Sequence[ExperimentResult]) -> str:
-    """Figure 8/9b layout: first-access MPKI per cache level."""
+def render_mpki_table(
+    results: Sequence[ExperimentResult], gaps: Sequence[str] = ()
+) -> str:
+    """Figure 8/9b layout: first-access MPKI per cache level.
+
+    ``gaps`` lists quarantined workloads; they render as explicit
+    placeholder rows (see :func:`render_table2`).
+    """
     lines: List[str] = []
     header = (
         f"{'Workload':<18} {'L1I fa-MPKI':>12} {'L1D fa-MPKI':>12} "
@@ -60,6 +81,10 @@ def render_mpki_table(results: Sequence[ExperimentResult]) -> str:
             f"{tc['L1I'].first_access_misses:>12.4f} "
             f"{tc['L1D'].first_access_misses:>12.4f} "
             f"{tc['LLC'].first_access_misses:>12.4f}"
+        )
+    for label in gaps:
+        lines.append(
+            f"{label:<18} {'--':>12} {'--':>12} {'--':>12}   [quarantined]"
         )
     return "\n".join(lines)
 

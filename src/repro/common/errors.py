@@ -66,6 +66,47 @@ class FaultInjectionError(ReproError):
     """The fault injector itself was misused or could not inject."""
 
 
+class CheckpointError(ReproError):
+    """A persisted JSON artifact (checkpoint, baseline, manifest) could
+    not be written or read back."""
+
+
+class CheckpointCorruptionError(CheckpointError, ValueError):
+    """A persisted JSON artifact failed integrity validation.
+
+    Also a :class:`ValueError`, because pre-existing callers treat "this
+    file is not what it claims to be" that way (e.g. the checkpoint
+    loader's historic contract).
+
+    Raised by :mod:`repro.robustness.safeio` when a file is truncated,
+    fails its content checksum, carries an unsupported schema version,
+    or is not the kind of document the caller expected — *and* no valid
+    rotated backup could stand in for it.  Carries the path and the
+    per-candidate reasons so an operator can see exactly what was tried.
+    """
+
+    def __init__(self, path: object, *, reasons: object = ()) -> None:
+        self.path = path
+        self.reasons = list(reasons)
+        detail = "; ".join(str(r) for r in self.reasons) or "corrupt"
+        super().__init__(f"{path}: {detail}")
+
+
+class WorkerHungError(ReproError):
+    """A supervised sweep worker exceeded its deadline and was killed.
+
+    Never escapes :class:`repro.robustness.supervisor.SupervisedSweepExecutor`
+    — it is the ``error_type`` recorded on the attempt so hangs are
+    distinguishable from crashes in failure records and scorecards.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A supervised sweep worker process died without delivering a result
+    (killed, OOM, segfault).  Recorded, like :class:`WorkerHungError`,
+    as an attempt outcome rather than raised through the sweep."""
+
+
 class CalibrationError(ReproError):
     """Attacker-side calibration produced unusable latency populations.
 

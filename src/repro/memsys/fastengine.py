@@ -1233,7 +1233,13 @@ class FastHierarchy(MemoryHierarchy):
         scalar_run = self._BATCH_SCALAR_RUN
         cursor = now
         i = 0
+        check_deadline = self._check_batch_deadline
         while i < n:
+            # Cooperative watchdog seam: one kernel step can be a whole
+            # batched run, so the budget is re-checked between adaptive
+            # windows (≤ _BATCH_WINDOW_MAX accesses apart), never
+            # mid-window — state stays consistent at the raise point.
+            check_deadline(i, n)
             if stale:
                 if need_d:
                     d_etag = np.where(

@@ -21,6 +21,7 @@ against.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, replace
 from typing import (
     Callable,
@@ -35,7 +36,7 @@ from typing import (
 
 from repro.common.clock import GlobalClock
 from repro.common.config import HierarchyConfig, TimeCacheConfig
-from repro.common.errors import SimulationError
+from repro.common.errors import SimulationError, SimulationTimeout
 from repro.common.rng import DeterministicRng
 from repro.common.stats import StatGroup
 from repro.memsys.cache import Cache
@@ -111,6 +112,11 @@ class MemoryHierarchy:
         self.tc_config = timecache if timecache is not None else TimeCacheConfig()
         self.tc_config.validate()
         self.clock = clock if clock is not None else GlobalClock()
+        #: wall-clock (``time.monotonic``) deadline armed by the kernel
+        #: watchdog: batched access runs check it cooperatively between
+        #: windows and raise :class:`SimulationTimeout`, so one huge
+        #: ``AccessRun`` cannot overshoot the budget by a whole batch
+        self.batch_deadline: Optional[float] = None
         self.line_shift = config.line_bytes.bit_length() - 1
         self._tc_mask = (1 << self.tc_config.timestamp_bits) - 1
         lat = config.latency
@@ -340,6 +346,19 @@ class MemoryHierarchy:
                 listener(ctx, line, kind, now, result)
         return result
 
+    #: scalar batched accesses between cooperative deadline checks
+    _DEADLINE_CHECK_EVERY = 1024
+
+    def _check_batch_deadline(self, done: int, total: int) -> None:
+        """Raise :class:`SimulationTimeout` if the armed wall-clock
+        deadline has passed (no-op when none is armed)."""
+        deadline = self.batch_deadline
+        if deadline is not None and time.monotonic() > deadline:
+            raise SimulationTimeout(
+                f"wall-clock budget exceeded inside a batched access run "
+                f"({done}/{total} accesses executed)"
+            )
+
     def access_batch(
         self,
         ctx: int,
@@ -379,7 +398,9 @@ class MemoryHierarchy:
                     f"nows has {len(nows)} entries for {n} addresses"
                 )
             prev: Optional[int] = None
-            for addr, kind, when in zip(addrs, kseq, nows):
+            for idx, (addr, kind, when) in enumerate(zip(addrs, kseq, nows)):
+                if idx % self._DEADLINE_CHECK_EVERY == 0:
+                    self._check_batch_deadline(idx, n)
                 when = int(when)
                 if prev is not None and when < prev:
                     raise SimulationError(
@@ -389,7 +410,9 @@ class MemoryHierarchy:
                 append(access(ctx, int(addr), kind, when))
             return BatchResult(results, now if prev is None else prev)
         cursor = now
-        for addr, kind in zip(addrs, kseq):
+        for idx, (addr, kind) in enumerate(zip(addrs, kseq)):
+            if idx % self._DEADLINE_CHECK_EVERY == 0:
+                self._check_batch_deadline(idx, n)
             result = access(ctx, int(addr), kind, cursor)
             append(result)
             cursor += advance + result.latency

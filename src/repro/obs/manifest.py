@@ -163,18 +163,23 @@ class RunManifest:
         }
 
     def write(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        return path
+        """Publish the manifest crash-safely (atomic rename + checksum +
+        rotated backup, like every JSON artifact the repo writes)."""
+        from repro.robustness import safeio
+
+        return safeio.write_json_atomic(self.to_dict(), path)
 
 
 def load_manifest(path: Union[str, Path]) -> Dict:
-    """Read a manifest back as plain data, validating the kind tag."""
-    with open(path) as handle:
-        payload = json.load(handle)
+    """Read a manifest back as plain data, validating the kind tag and
+    the content checksum (corrupt manifests fall back to the rotated
+    ``.bak`` before failing)."""
+    from repro.common.errors import CheckpointCorruptionError
+    from repro.robustness import safeio
+
+    payload, _ = safeio.read_json_recovering(path)
+    if payload is None:
+        raise CheckpointCorruptionError(path, reasons=["missing file"])
     if payload.get("kind") != "run_manifest":
         raise ValueError(f"{path}: not a run manifest")
     return payload

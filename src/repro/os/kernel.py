@@ -206,12 +206,39 @@ class Kernel:
         record the failure and move on (checked every
         ``stop_check_interval`` steps, like ``stop_when``).
         """
-        steps = 0
         deadline = (
             time.monotonic() + wall_clock_budget_s
             if wall_clock_budget_s is not None
             else None
         )
+        if deadline is None:
+            return self._run_loop(
+                max_steps, stop_when, stop_check_interval,
+                deadline, wall_clock_budget_s, instruction_budget,
+            )
+        # Arm the cooperative seam: a single kernel step may execute a
+        # whole batched AccessRun, so the hierarchy re-checks the same
+        # deadline between its internal windows.
+        hierarchy = self.system.hierarchy
+        hierarchy.batch_deadline = deadline
+        try:
+            return self._run_loop(
+                max_steps, stop_when, stop_check_interval,
+                deadline, wall_clock_budget_s, instruction_budget,
+            )
+        finally:
+            hierarchy.batch_deadline = None
+
+    def _run_loop(
+        self,
+        max_steps: int,
+        stop_when: Optional[Callable[["Kernel"], bool]],
+        stop_check_interval: int,
+        deadline: Optional[float],
+        wall_clock_budget_s: Optional[float],
+        instruction_budget: Optional[int],
+    ) -> RunSummary:
+        steps = 0
         while steps < max_steps:
             if steps % stop_check_interval == 0:
                 if stop_when is not None and stop_when(self):

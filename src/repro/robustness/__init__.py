@@ -12,7 +12,20 @@ Three independent pieces, usable separately:
   (``repro faults`` on the command line);
 * :mod:`repro.robustness.resilience` — retry/backoff, graceful
   degradation, and checkpoint/resume for long sweeps (used by
-  :mod:`repro.analysis.runner`).
+  :mod:`repro.analysis.runner`);
+* :mod:`repro.robustness.safeio` — crash-safe JSON persistence (atomic
+  rename, content checksums, rotated last-good backups) used by every
+  durable artifact writer in the repo;
+* :mod:`repro.robustness.supervisor` — heartbeat-supervised sweep
+  execution: hung workers are killed and rescheduled, poison jobs are
+  quarantined with full provenance (``SupervisedSweepExecutor``);
+* :mod:`repro.robustness.chaos` — deterministic orchestration-level
+  chaos (kill/hang/corrupt/io_error) and the ``repro chaos`` resilience
+  scorecard campaign.
+
+``supervisor`` and ``chaos`` are re-exported lazily (PEP 562): they
+import the analysis layer, which imports this package, so eager imports
+here would cycle.
 """
 
 from repro.robustness.campaign import (
@@ -40,8 +53,40 @@ from repro.robustness.resilience import (
     run_resilient_jobs,
 )
 
+#: lazily-resolved exports (module -> names); see the module docstring
+_LAZY = {
+    "repro.robustness.supervisor": (
+        "SupervisedSweepExecutor",
+        "SupervisionReport",
+        "load_quarantine_record",
+        "write_quarantine_record",
+    ),
+    "repro.robustness.chaos": (
+        "CHAOS_MODELS",
+        "ChaosEvent",
+        "ChaosPlan",
+        "ResilienceScorecard",
+        "run_chaos_campaign",
+    ),
+}
+
+
+def __getattr__(name: str):
+    import importlib
+
+    for module, names in _LAZY.items():
+        if name in names:
+            return getattr(importlib.import_module(module), name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "ALL_FAULT_MODELS",
+    "CHAOS_MODELS",
+    "ChaosEvent",
+    "ChaosPlan",
     "Checkpoint",
     "DetectionMatrix",
     "DroppedComparatorClear",
@@ -51,12 +96,18 @@ __all__ = [
     "FaultModel",
     "InjectionOutcome",
     "InvariantChecker",
+    "ResilienceScorecard",
     "SBitCorruption",
+    "SupervisedSweepExecutor",
+    "SupervisionReport",
     "SweepOutcome",
     "SwitchStateLoss",
     "TcCorruption",
     "campaign_config",
+    "load_quarantine_record",
+    "run_chaos_campaign",
     "run_fault_campaign",
     "run_resilient_jobs",
     "run_single_injection",
+    "write_quarantine_record",
 ]

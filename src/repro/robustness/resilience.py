@@ -12,7 +12,11 @@ provides the generic machinery — the analysis layer
 * **checkpoint/resume**: after every finished job the completed results
   are written to a JSON checkpoint; a rerun pointed at the same file
   skips completed jobs (previously *failed* jobs are retried — a resume
-  is exactly a second chance for them).
+  is exactly a second chance for them).  Checkpoint files are written
+  crash-safely via :mod:`repro.robustness.safeio` (atomic rename,
+  content checksum, rotated ``.bak``), so a kill mid-write can never
+  poison a later ``--resume`` — a corrupt primary falls back to the
+  last-good backup automatically.
 
 Deliberately not caught: :class:`KeyboardInterrupt` (the operator wins;
 the checkpoint preserves progress) and :class:`BaseException` generally.
@@ -21,9 +25,12 @@ the checkpoint preserves progress) and :class:`BaseException` generally.
 from __future__ import annotations
 
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import repro.robustness.safeio as safeio
 
 CHECKPOINT_SCHEMA = 1
 
@@ -33,12 +40,30 @@ Job = Tuple[str, Callable[[], object]]
 
 @dataclass
 class FailureRecord:
-    """A job that exhausted its retries."""
+    """A job that exhausted its retries, with enough provenance to
+    reproduce it in isolation.
+
+    The first four fields are the PR 1 core; the rest traces the
+    quarantined job across subsystems: the simulation ``seed``, the
+    ``engine`` it ran under (PR 3), the fast engine's maximum
+    ``batch_window`` (PR 5 — bounds the vectorized stretch that was in
+    flight), the sha256 of the full config, the obs run-manifest
+    fingerprint of the sweep that quarantined it (PR 4), the worker-side
+    ``traceback``, and — once quarantined to disk — the path of the
+    standalone record file.
+    """
 
     label: str
     attempts: int
     error_type: str
     message: str
+    seed: Optional[int] = None
+    engine: str = ""
+    config_sha256: str = ""
+    batch_window: Optional[int] = None
+    manifest_id: str = ""
+    traceback: str = ""
+    record_path: str = ""
 
     def to_dict(self) -> Dict:
         return {
@@ -46,16 +71,56 @@ class FailureRecord:
             "attempts": self.attempts,
             "error_type": self.error_type,
             "message": self.message,
+            "seed": self.seed,
+            "engine": self.engine,
+            "config_sha256": self.config_sha256,
+            "batch_window": self.batch_window,
+            "manifest_id": self.manifest_id,
+            "traceback": self.traceback,
+            "record_path": self.record_path,
         }
 
     @staticmethod
     def from_dict(payload: Dict) -> "FailureRecord":
+        seed = payload.get("seed")
+        window = payload.get("batch_window")
         return FailureRecord(
             label=payload["label"],
             attempts=int(payload["attempts"]),
             error_type=payload["error_type"],
             message=payload["message"],
+            seed=None if seed is None else int(seed),
+            engine=payload.get("engine", ""),
+            config_sha256=payload.get("config_sha256", ""),
+            batch_window=None if window is None else int(window),
+            manifest_id=payload.get("manifest_id", ""),
+            traceback=payload.get("traceback", ""),
+            record_path=payload.get("record_path", ""),
         )
+
+    def apply_provenance(self, provenance: Dict) -> "FailureRecord":
+        """Fill the provenance fields from a job's provenance dict
+        (unknown keys are ignored; existing non-default values win)."""
+        if not provenance:
+            return self
+        if self.seed is None and provenance.get("seed") is not None:
+            self.seed = int(provenance["seed"])
+        if not self.engine:
+            self.engine = str(provenance.get("engine", ""))
+        if not self.config_sha256:
+            self.config_sha256 = str(provenance.get("config_sha256", ""))
+        if self.batch_window is None and provenance.get("batch_window"):
+            self.batch_window = int(provenance["batch_window"])
+        if not self.manifest_id:
+            self.manifest_id = str(provenance.get("manifest_id", ""))
+        return self
+
+
+def format_exception(error: BaseException) -> str:
+    """The traceback a failure record carries (worker- or serial-side)."""
+    return "".join(
+        _traceback.format_exception(type(error), error, error.__traceback__)
+    )
 
 
 @dataclass
@@ -98,19 +163,25 @@ class Checkpoint:
         self.deserialize = deserialize
         self.completed: Dict[str, Dict] = {}
         self.failures: List[FailureRecord] = []
+        #: True when the last load had to fall back to the ``.bak``
+        #: (i.e. the primary file was corrupt or missing mid-publish)
+        self.recovered_from_backup = False
 
     def load(self) -> None:
-        """Read a prior run's progress; a missing file is a fresh start."""
-        if not self.path.exists():
-            return
-        import json
+        """Read a prior run's progress; a missing file is a fresh start.
 
-        with open(self.path) as handle:
-            payload = json.load(handle)
-        if payload.get("schema") != CHECKPOINT_SCHEMA or payload.get(
-            "kind"
-        ) != "sweep_checkpoint":
-            raise ValueError(f"{self.path}: not a sweep checkpoint")
+        Corruption (truncation, checksum mismatch, a stale schema
+        version) is detected and silently healed from the rotated
+        last-good backup; only both-copies-corrupt raises
+        :class:`~repro.common.errors.CheckpointCorruptionError`.
+        """
+        payload, self.recovered_from_backup = safeio.read_json_recovering(
+            self.path,
+            expected_kind="sweep_checkpoint",
+            expected_schema=CHECKPOINT_SCHEMA,
+        )
+        if payload is None:
+            return
         self.completed = dict(payload.get("completed", {}))
         self.failures = [
             FailureRecord.from_dict(f) for f in payload.get("failures", [])
@@ -133,20 +204,13 @@ class Checkpoint:
         self._write()
 
     def _write(self) -> None:
-        import json
-
         payload = {
             "schema": CHECKPOINT_SCHEMA,
             "kind": "sweep_checkpoint",
             "completed": self.completed,
             "failures": [f.to_dict() for f in self.failures],
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        tmp.replace(self.path)
+        safeio.write_json_atomic(payload, self.path)
 
 
 def run_resilient_jobs(
@@ -206,6 +270,7 @@ def run_resilient_jobs(
                 attempts=attempts,
                 error_type=type(error).__name__,
                 message=str(error),
+                traceback=format_exception(error),
             )
             outcome.failures.append(record)
             if checkpoint is not None:

@@ -1,0 +1,459 @@
+"""Supervised sweep execution: hang detection, kill/reschedule, quarantine.
+
+:class:`~repro.analysis.parallel.ParallelSweepExecutor` retries a job
+whose *code* raises, but a worker that stops making progress — an
+accidental infinite loop, a deadlocked import, a runaway simulation — or
+one that dies without a word (OOM kill, segfault, a chaos injection)
+holds the whole ``ProcessPoolExecutor`` hostage.  This module supervises
+the workers themselves:
+
+* **process-per-job slots** — up to ``jobs`` concurrent
+  ``multiprocessing.Process`` workers, each owning one job attempt and
+  one result pipe.  A worker can therefore be killed surgically without
+  poisoning a shared pool;
+* **heartbeat-based hang detection** — each slot carries a shared
+  heartbeat cell the worker stamps when the attempt starts (the job
+  function may stamp it again to extend its lease); the supervisor's
+  poll loop, which also emits PR 4's ``sweep.heartbeat`` trace events,
+  kills any worker silent past ``deadline_s`` and reschedules the job;
+* **poison-job quarantine** — kills and crashes count as attempts; a
+  job failing ``retries + 1`` attempts becomes an enriched
+  :class:`~repro.robustness.resilience.FailureRecord` (seed, engine,
+  config hash, batch window, manifest id, traceback) written as a
+  standalone record under ``quarantine_dir``, and the sweep *continues*;
+* the parent remains the only checkpoint writer, and results come back
+  in submission order — the PR 2 contract is unchanged, so every sweep
+  driver can swap executors without caring.
+
+The executor inherits the ``jobs == 1`` serial delegation, tracer
+events, and ordered reassembly from ``ParallelSweepExecutor`` and only
+replaces the pool body.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.parallel import (
+    ParallelSweepExecutor,
+    SweepJob,
+    _Attempt,
+    _attempt_failure,
+    derive_job_seed,
+)
+from repro.robustness import safeio
+from repro.robustness.resilience import (
+    Checkpoint,
+    FailureRecord,
+    SweepOutcome,
+    format_exception,
+)
+
+FAILURE_RECORD_SCHEMA = 1
+
+#: worker-side sabotage spec injected by the chaos layer:
+#: ("kill", exit_code) | ("hang", seconds) | ("raise", message)
+Sabotage = Optional[tuple]
+
+
+def quarantine_record_path(
+    quarantine_dir: Union[str, Path], label: str
+) -> Path:
+    """Where one label's quarantine record lives (label made file-safe)."""
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in label)
+    return Path(quarantine_dir) / f"{safe}.failure.json"
+
+
+def write_quarantine_record(
+    record: FailureRecord, quarantine_dir: Union[str, Path]
+) -> Path:
+    """Persist one quarantined job's full provenance as a standalone,
+    crash-safe JSON document; stamps ``record.record_path``."""
+    path = quarantine_record_path(quarantine_dir, record.label)
+    record.record_path = str(path)
+    payload = {
+        "schema": FAILURE_RECORD_SCHEMA,
+        "kind": "failure_record",
+        **record.to_dict(),
+    }
+    safeio.write_json_atomic(payload, path)
+    return path
+
+
+def load_quarantine_record(path: Union[str, Path]) -> FailureRecord:
+    payload = safeio.read_json_verified(
+        path, expected_kind="failure_record",
+        expected_schema=FAILURE_RECORD_SCHEMA,
+    )
+    return FailureRecord.from_dict(payload)
+
+
+def _supervised_worker(
+    job: SweepJob,
+    child_seed: int,
+    conn,
+    beat,
+    sabotage: Sabotage,
+) -> None:
+    """Worker-process body: one job attempt, result down the pipe.
+
+    No retry loop here — the *supervisor* owns attempts, because a hung
+    attempt can only be retried by killing this process.  The heartbeat
+    cell is stamped when work starts; a cooperative job may keep
+    stamping it via ``repro_heartbeat`` in its kwargs, but the default
+    contract is simply "finish within the deadline".
+    """
+    import random
+
+    random.seed(child_seed)
+    try:
+        import numpy as _np
+
+        _np.random.seed(child_seed & 0xFFFFFFFF)
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        pass
+    beat.value = time.monotonic()
+    started = time.perf_counter()
+    if sabotage is not None:
+        kind, param = sabotage
+        if kind == "hang":
+            # A stuck worker: alive but silent.  time.sleep models any
+            # non-progressing state the supervisor cannot distinguish.
+            time.sleep(float(param))
+        elif kind == "kill":
+            # Die without a word, mid-protocol: no result ever crosses
+            # the pipe (models OOM-kill / segfault / power loss).
+            conn.close()
+            os._exit(int(param))
+    try:
+        if sabotage is not None and sabotage[0] == "raise":
+            from repro.common.errors import FaultInjectionError
+
+            raise FaultInjectionError(str(sabotage[1]))
+        result = job.run()
+    except BaseException as exc:  # noqa: BLE001 - flattened for the pipe
+        conn.send(
+            _Attempt(
+                label=job.label,
+                ok=False,
+                attempts=1,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                duration_s=time.perf_counter() - started,
+                traceback=format_exception(exc),
+            )
+        )
+        conn.close()
+        return
+    conn.send(
+        _Attempt(
+            label=job.label,
+            ok=True,
+            result=result,
+            attempts=1,
+            duration_s=time.perf_counter() - started,
+        )
+    )
+    conn.close()
+
+
+@dataclass
+class _Slot:
+    """One running worker: its process, pipe, heartbeat, and bookkeeping."""
+
+    job: SweepJob
+    attempt: int
+    process: mp.Process
+    conn: object
+    beat: object
+    started: float
+    received: Optional[_Attempt] = None
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor did beyond plain execution (for scorecards)."""
+
+    hangs_killed: int = 0
+    crashes_detected: int = 0
+    reschedules: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    record_paths: Dict[str, str] = field(default_factory=dict)
+
+
+class SupervisedSweepExecutor(ParallelSweepExecutor):
+    """A :class:`ParallelSweepExecutor` whose workers are supervised.
+
+    Extra knobs over the base executor:
+
+    * ``deadline_s`` — per-attempt wall-clock lease.  A worker whose
+      heartbeat is older than this is killed and the job rescheduled
+      (counting as one attempt).  ``None`` disables hang detection
+      (crash detection stays on);
+    * ``poll_s`` — supervisor loop cadence (also the heartbeat event
+      cadence while jobs are in flight);
+    * ``quarantine_dir`` — where exhausted jobs' failure records are
+      written; ``None`` keeps records only in the outcome/checkpoint;
+    * ``manifest_id`` — the sweep's run-manifest fingerprint, stamped
+      onto every failure record for cross-subsystem traceability;
+    * ``sabotage_for`` — chaos seam: maps ``(label, attempt)`` to a
+      worker sabotage spec; never set in production.
+
+    After :meth:`run`, :attr:`report` describes the supervision actions
+    (kills, crashes, reschedules, quarantined labels).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        retries: int = 2,
+        backoff_s: float = 0.5,
+        deadline_s: Optional[float] = None,
+        poll_s: float = 0.02,
+        checkpoint: Optional[Checkpoint] = None,
+        on_event: Optional[Callable[[str, str], None]] = None,
+        base_seed: int = 0,
+        tracer=None,
+        quarantine_dir: Optional[Union[str, Path]] = None,
+        manifest_id: str = "",
+        sabotage_for: Optional[Callable[[str, int], Sabotage]] = None,
+    ) -> None:
+        super().__init__(
+            jobs,
+            retries=retries,
+            backoff_s=backoff_s,
+            checkpoint=checkpoint,
+            on_event=on_event,
+            base_seed=base_seed,
+            tracer=tracer,
+        )
+        self.deadline_s = deadline_s
+        self.poll_s = poll_s
+        self.quarantine_dir = (
+            Path(quarantine_dir) if quarantine_dir is not None else None
+        )
+        self.manifest_id = manifest_id
+        self.sabotage_for = sabotage_for
+        self.report = SupervisionReport()
+
+    # ------------------------------------------------------------------
+    # pool body (replaces ProcessPoolExecutor wholesale)
+    # ------------------------------------------------------------------
+    def _run_pool(self, sweep_jobs: Sequence[SweepJob]) -> SweepOutcome:
+        self.report = SupervisionReport()
+        checkpoint = self.checkpoint
+        resumed: Dict[str, object] = {}
+        if checkpoint is not None:
+            checkpoint.load()
+            for job in sweep_jobs:
+                prior = checkpoint.result_for(job.label)
+                if prior is not None:
+                    resumed[job.label] = prior
+        ctx = mp.get_context()
+        pending = deque(
+            (job, 1) for job in sweep_jobs if job.label not in resumed
+        )
+        slots: List[_Slot] = []
+        finished: Dict[str, _Attempt] = {}
+        failed_attempts: Dict[str, _Attempt] = {}
+        backoff_until: Dict[str, float] = {}
+
+        def launch(job: SweepJob, attempt: int) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            beat = ctx.Value("d", time.monotonic())
+            sabotage = (
+                self.sabotage_for(job.label, attempt)
+                if self.sabotage_for is not None
+                else None
+            )
+            proc = ctx.Process(
+                target=_supervised_worker,
+                args=(
+                    job,
+                    derive_job_seed(self.base_seed, job.label),
+                    child_conn,
+                    beat,
+                    sabotage,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            slots.append(
+                _Slot(
+                    job=job,
+                    attempt=attempt,
+                    process=proc,
+                    conn=parent_conn,
+                    beat=beat,
+                    started=time.monotonic(),
+                )
+            )
+
+        def settle(slot: _Slot, attempt: _Attempt) -> None:
+            """A slot produced a terminal attempt outcome."""
+            label = slot.job.label
+            if attempt.ok:
+                finished[label] = attempt
+                if checkpoint is not None:
+                    checkpoint.record_success(label, attempt.result)
+                self._job_event(
+                    label,
+                    "ok",
+                    attempts=attempt.attempts,
+                    duration_s=round(attempt.duration_s, 6),
+                )
+                return
+            if slot.attempt <= self.retries:
+                # Reschedule (crash, hang, or raise) with backoff.
+                self.report.reschedules += 1
+                backoff_until[label] = (
+                    time.monotonic()
+                    + self.backoff_s * 2 ** (slot.attempt - 1)
+                )
+                pending.append((slot.job, slot.attempt + 1))
+                self._notify(label, "retry")
+                return
+            attempt.attempts = slot.attempt
+            failed_attempts[label] = attempt
+            record = _attempt_failure(attempt, slot.job)
+            record.manifest_id = record.manifest_id or self.manifest_id
+            self.report.quarantined.append(label)
+            if self.quarantine_dir is not None:
+                path = write_quarantine_record(record, self.quarantine_dir)
+                self.report.record_paths[label] = str(path)
+            if checkpoint is not None:
+                checkpoint.record_failure(record)
+            self._job_event(
+                label,
+                "failed",
+                attempts=attempt.attempts,
+                error_type=attempt.error_type,
+                duration_s=round(attempt.duration_s, 6),
+            )
+
+        def reap(slot: _Slot) -> Optional[_Attempt]:
+            """Poll one slot; a terminal outcome or None if still running."""
+            if slot.conn.poll():
+                try:
+                    received = slot.conn.recv()
+                except (EOFError, OSError):
+                    received = None
+                if received is not None:
+                    slot.process.join()
+                    slot.conn.close()
+                    received.attempts = slot.attempt
+                    return received
+            if not slot.process.is_alive():
+                slot.process.join()
+                # Drain once more: the result may have been flushed into
+                # the pipe between the poll above and the death check.
+                if slot.conn.poll():
+                    try:
+                        received = slot.conn.recv()
+                    except (EOFError, OSError):
+                        received = None
+                    if received is not None:
+                        slot.conn.close()
+                        received.attempts = slot.attempt
+                        return received
+                # Died without delivering: crash (chaos kill, OOM, ...).
+                slot.conn.close()
+                self.report.crashes_detected += 1
+                return _Attempt(
+                    label=slot.job.label,
+                    ok=False,
+                    attempts=slot.attempt,
+                    error_type="WorkerCrashError",
+                    message=(
+                        f"worker exited with code "
+                        f"{slot.process.exitcode} before delivering a "
+                        f"result"
+                    ),
+                    duration_s=time.monotonic() - slot.started,
+                )
+            last_beat = max(slot.beat.value, slot.started)
+            if (
+                self.deadline_s is not None
+                and time.monotonic() - last_beat > self.deadline_s
+            ):
+                # Hung: alive but past its lease.  Kill and account.
+                slot.process.kill()
+                slot.process.join()
+                slot.conn.close()
+                self.report.hangs_killed += 1
+                return _Attempt(
+                    label=slot.job.label,
+                    ok=False,
+                    attempts=slot.attempt,
+                    error_type="WorkerHungError",
+                    message=(
+                        f"no heartbeat for {self.deadline_s}s; worker "
+                        f"killed by supervisor"
+                    ),
+                    duration_s=time.monotonic() - slot.started,
+                )
+            return None
+
+        try:
+            while pending or slots:
+                now = time.monotonic()
+                while pending and len(slots) < self.jobs:
+                    job, attempt = pending[0]
+                    wait = backoff_until.get(job.label, 0.0)
+                    if wait > now and not slots:
+                        # Nothing running and the head job is backing
+                        # off: sleep it out rather than spin.
+                        time.sleep(min(self.poll_s, wait - now))
+                        now = time.monotonic()
+                    if backoff_until.get(job.label, 0.0) > now:
+                        break
+                    pending.popleft()
+                    launch(job, attempt)
+                progressed = False
+                for slot in list(slots):
+                    outcome = reap(slot)
+                    if outcome is not None:
+                        slots.remove(slot)
+                        settle(slot, outcome)
+                        progressed = True
+                if slots and not progressed:
+                    self._emit(
+                        "sweep.heartbeat",
+                        done=self._completed,
+                        total=self._total,
+                        failed=self._failed,
+                        in_flight=len(slots),
+                    )
+                    time.sleep(self.poll_s)
+        finally:
+            for slot in slots:  # pragma: no cover - only on raise/interrupt
+                slot.process.kill()
+                slot.process.join()
+
+        # Ordered reassembly: submission order, like the base executor.
+        outcome = SweepOutcome()
+        for job in sweep_jobs:
+            if job.label in resumed:
+                outcome.results[job.label] = resumed[job.label]
+                outcome.resumed.append(job.label)
+                self._job_event(job.label, "resumed")
+                continue
+            if job.label in finished:
+                outcome.results[job.label] = finished[job.label].result
+            else:
+                attempt = failed_attempts[job.label]
+                record = _attempt_failure(attempt, job)
+                record.manifest_id = record.manifest_id or self.manifest_id
+                record.record_path = self.report.record_paths.get(
+                    job.label, ""
+                )
+                outcome.failures.append(record)
+        return outcome

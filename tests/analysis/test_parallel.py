@@ -104,11 +104,17 @@ class TestResume:
         assert outcome.complete
         full = path.read_bytes()
 
-        # Simulate the kill: drop one completed cell from the checkpoint.
+        # Simulate the kill: drop one completed cell from the checkpoint
+        # (resealing the checksum — this models a checkpoint that was
+        # legitimately written before the kill, not a corrupt one; the
+        # corrupt case is covered by tests/robustness/test_safeio.py).
+        from repro.robustness import safeio
+
         payload = json.loads(full)
         killed_label = pair_label(*PAIRS[1])
         del payload["completed"][killed_label]
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(safeio.seal(payload)))
+        safeio.backup_path(path).unlink()
 
         resumed = resilient_spec_pair_sweep(
             pairs=PAIRS, instructions=INSTRUCTIONS, checkpoint_path=path, jobs=2

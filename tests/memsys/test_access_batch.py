@@ -224,3 +224,41 @@ def test_fast_and_object_batches_agree_with_listeners():
     assert seen["object"] == seen["fast"]
     assert _observe(outs["object"].results) == _observe(outs["fast"].results)
     assert outs["object"].now == outs["fast"].now
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_expired_batch_deadline_raises_cooperatively(engine):
+    """An armed (and already expired) ``batch_deadline`` interrupts a
+    batched run on both engines instead of letting it finish — the seam
+    the kernel watchdog arms so one huge AccessRun cannot overshoot its
+    wall-clock budget (satellite of the supervision PR)."""
+    import time
+
+    from repro.common.errors import SimulationTimeout
+
+    system = TimeCacheSystem(_config(engine))
+    hierarchy = system.hierarchy
+    addrs = [i * LINE for i in range(256)]
+    hierarchy.batch_deadline = time.monotonic() - 1.0
+    with pytest.raises(SimulationTimeout, match="batched access run"):
+        system.access_batch(0, addrs, LOAD)
+    with pytest.raises(SimulationTimeout):
+        system.access_batch(0, addrs, LOAD, nows=list(range(256)))
+    # disarming restores normal execution on the same hierarchy
+    hierarchy.batch_deadline = None
+    out = system.access_batch(0, addrs, LOAD)
+    assert len(out.results) == len(addrs)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_unarmed_deadline_costs_nothing_and_changes_nothing(engine):
+    """With no deadline armed (the default), batched results are
+    untouched by the seam."""
+    addrs = [(i * 7 % 80) * LINE for i in range(300)]
+    armed = TimeCacheSystem(_config(engine))
+    assert armed.hierarchy.batch_deadline is None
+    plain = TimeCacheSystem(_config(engine))
+    a = armed.access_batch(0, addrs, LOAD)
+    b = plain.access_batch(0, addrs, LOAD)
+    assert _observe(a.results) == _observe(b.results)
+    assert _snapshot(armed) == _snapshot(plain)

@@ -195,3 +195,38 @@ def test_task_cycle_accounting_sums_to_core_time(config):
     # are bounded by (and close to) the core's local time
     assert total_task_cycles <= kernel.contexts[0].local_time
     assert total_task_cycles >= 6000
+
+
+def test_wall_clock_budget_interrupts_giant_batched_run(config):
+    """One AccessRun is a single kernel step, so the per-step watchdog
+    alone can overshoot the budget by a whole batch.  The kernel arms the
+    hierarchy's cooperative ``batch_deadline`` seam, which re-checks the
+    budget between batch windows and raises mid-run."""
+    import pytest
+
+    from repro.common.errors import SimulationTimeout
+    from repro.cpu.isa import AccessRun
+
+    kernel = Kernel(config)
+    process = kernel.create_process("p")
+    seg = kernel.phys.allocate_segment("data", 1 << 16)
+    process.address_space.map_segment(seg, 0x10000)
+    # Far more work than the budget allows, all inside ONE op.
+    addrs = [0x10000 + (i * 64) % (1 << 16) for i in range(400_000)]
+    task = process.spawn(
+        simple_program("big", [AccessRun(addrs), Exit()]), affinity=0
+    )
+    kernel.submit(task)
+    with pytest.raises(SimulationTimeout, match="batched access run"):
+        kernel.run(wall_clock_budget_s=0.05)
+    # the seam is disarmed again even on the raise path
+    assert kernel.system.hierarchy.batch_deadline is None
+
+
+def test_budgetless_run_leaves_seam_disarmed(config):
+    kernel = Kernel(config)
+    process = kernel.create_process("p")
+    task = process.spawn(simple_program("c", [Compute(10), Exit()]), affinity=0)
+    kernel.submit(task)
+    kernel.run()
+    assert kernel.system.hierarchy.batch_deadline is None
