@@ -12,6 +12,7 @@ Usage (also available as ``python -m repro``):
     python -m repro faults --quick         # fault-injection detection matrix
     python -m repro chaos --quick          # orchestration chaos scorecard
     python -m repro bench --quick          # perf harness, BENCH_*.json
+    python -m repro tournament --quick     # attack leakage scorecard
     python -m repro trace                  # traced flush+reload + manifest
     python -m repro obs summarize T.jsonl  # inspect a trace stream
 
@@ -407,6 +408,83 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    """Attack tournament: every attack × {timecache, baseline} × engine,
+    scored as a statistical distinguishability game (AUC/CI/MI), written
+    to a SECURITY.json scorecard.  ``--baseline`` gates enforcing-ly:
+    unlike the perf gate, leakage scores are simulated-deterministic, so
+    any drift is a code change.  Exit contract: 1 on gate failure or
+    nothing scored, 3 when cells were quarantined, else 0."""
+    from repro.analysis import tournament as tm
+    from repro.analysis.runner import write_run_manifest
+
+    console = args.console
+    engines = tm.ENGINES if args.engine == "both" else (args.engine,)
+    seed_count = args.seeds or (1 if args.quick else 2)
+    seeds = tuple(args.seed + i for i in range(seed_count))
+    n_boot = args.boot or (200 if args.quick else 500)
+    try:
+        outcome = tm.run_tournament(
+            attacks=args.attacks or None,
+            engines=engines,
+            seeds=seeds,
+            quick=args.quick,
+            jobs=args.jobs,
+            n_boot=n_boot,
+            checkpoint_path=args.resume,
+            quarantine_dir=_quarantine_dir_for(args.resume) if args.resume else None,
+        )
+    except ValueError as exc:  # unknown attack name
+        console.error(str(exc))
+        return EXIT_FATAL
+    status = _report_sweep_outcome(console, outcome.sweep)
+    if not outcome.cells:
+        return EXIT_FATAL
+    console.result(tm.render_scorecard(outcome))
+    params = {
+        "quick": args.quick,
+        "seeds": list(seeds),
+        "n_boot": n_boot,
+        "engines": list(engines),
+        "attacks": list(args.attacks or tm.ATTACKS),
+    }
+    path = tm.write_scorecard(outcome, args.output, params=params)
+    console.info(f"wrote {path}")
+    write_run_manifest(
+        Path(str(args.output) + ".manifest.json"),
+        command=["repro"] + args.argv,
+        config=tm.cell_config("flush_reload", "timecache", engines[0], seeds[0]),
+        seed=seeds[0],
+        artifacts=[Path(args.output)],
+        extra={"cells": len(outcome.cells), "gaps": len(outcome.sweep.failures)},
+    )
+    if args.update_baseline:
+        if not outcome.complete:
+            console.error(
+                "refusing to write a baseline with quarantined cells — "
+                "a gap would silently exempt that attack from the gate"
+            )
+            return EXIT_FATAL
+        bpath = tm.write_security_baseline(
+            outcome, args.update_baseline, params=params
+        )
+        console.info(f"wrote baseline {bpath}")
+    if args.baseline:
+        baseline = tm.load_security_baseline(args.baseline)
+        failures = tm.compare_to_security_baseline(
+            outcome.cells, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for message in failures:
+                console.error(f"SECURITY REGRESSION {message}")
+            return EXIT_FATAL
+        console.info(
+            f"security gate passed vs {args.baseline} "
+            f"(tolerance {args.tolerance:.2f})"
+        )
+    return status
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run a traced flush+reload and leave a self-describing artifact
     directory: trace.jsonl (the event stream), trace.perfetto.json (load
@@ -681,6 +759,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each workload under cProfile and write "
         "BENCH_profile_<name>.pstats instead of timing it",
     )
+    tournament = sub.add_parser(
+        "tournament",
+        help="attack tournament: statistical leakage scorecard "
+        "(SECURITY.json) with an enforcing --baseline gate",
+        parents=[quiet_parent],
+    )
+    tournament.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: fewer rounds/seeds/bootstrap replicates",
+    )
+    tournament.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="supervised worker processes for the cell matrix "
+        "(default: one per CPU; 1 = the serial path)",
+    )
+    tournament.add_argument(
+        "--engine",
+        choices=("object", "fast", "both"),
+        default="both",
+        help="which engine(s) to score (default: both)",
+    )
+    tournament.add_argument(
+        "--attacks",
+        action="append",
+        metavar="NAME",
+        help="score just this attack (repeatable; default: all)",
+    )
+    tournament.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool latencies over N seeds starting at --seed "
+        "(default: 1 quick, 2 full)",
+    )
+    tournament.add_argument(
+        "--boot",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bootstrap replicates per cell (default: 200 quick, 500 full)",
+    )
+    tournament.add_argument(
+        "--output",
+        default="SECURITY.json",
+        help="scorecard path (default SECURITY.json)",
+    )
+    tournament.add_argument(
+        "--baseline",
+        metavar="BASELINE.json",
+        default=None,
+        help="enforce the security gate against this committed baseline; "
+        "exit 1 on any regression",
+    )
+    tournament.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="AUC-separation headroom above the baseline before a "
+        "defense-on cell counts as a regression (default 0.05)",
+    )
+    tournament.add_argument(
+        "--update-baseline",
+        metavar="PATH",
+        default=None,
+        help="also write these scores as a new baseline (refused when "
+        "any cell was quarantined)",
+    )
+    tournament.add_argument(
+        "--resume",
+        metavar="CHECKPOINT",
+        default=None,
+        help="checkpoint scored cells to (and resume from) this JSON "
+        "file; quarantined cells land in CHECKPOINT.quarantine/",
+    )
     trace = sub.add_parser(
         "trace",
         help="traced flush+reload: trace.jsonl + Perfetto file + manifest",
@@ -744,6 +900,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
+    "tournament": _cmd_tournament,
     "trace": _cmd_trace,
     "obs": _cmd_obs,
 }

@@ -12,6 +12,7 @@ to pick its threshold.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import ContextManager, List, Optional, Sequence
@@ -55,6 +56,14 @@ def timed_probe_run(
     latencies.extend(r.latency + 1 for r in results)
 
 
+#: folded-AUC separation above which :meth:`AttackOutcome.verdict` calls
+#: the channel leaky.  Deliberately below the tournament's 0.6 cutoff:
+#: a single-run verdict has no bootstrap interval backing it, so it errs
+#: toward flagging (it replaces the old "any hit at all" rule, which was
+#: an implicit cutoff of barely-above-0.5).
+DEFAULT_AUC_LEAK_CUTOFF = 0.55
+
+
 @dataclass
 class AttackOutcome:
     """Generic result of a probe-based attack run.
@@ -62,13 +71,17 @@ class AttackOutcome:
     ``probe_hits``/``probe_total`` count probes classified as hits; a
     reuse attack "succeeds" when hits reveal victim activity, so the
     defended system should drive ``probe_hits`` to zero.  ``latencies``
-    keeps the raw measurements for distribution checks.
+    keeps the raw measurements for distribution checks, and attacks that
+    run a victim-inactive control arm record its measurements in
+    ``control_latencies`` so the leak verdict can compare the two
+    distributions instead of trusting a threshold.
     """
 
     probe_hits: int
     probe_total: int
     latencies: List[int] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    control_latencies: List[int] = field(default_factory=list)
 
     @property
     def hit_fraction(self) -> float:
@@ -76,10 +89,46 @@ class AttackOutcome:
             return 0.0
         return self.probe_hits / self.probe_total
 
+    def leak_auc(self) -> float:
+        """Folded AUC separating this run from a victim-inactive null.
+
+        With a recorded control arm this is the real two-sample statistic
+        (:func:`repro.security.stats.auc_separation` between
+        ``control_latencies`` and ``latencies``).  Without one, the null
+        is the implied all-miss distribution a defended run should
+        produce, against which a run whose hit fraction is ``h``
+        separates with AUC ``0.5 + h/2`` — hits sit strictly below the
+        threshold, misses at or above it, ties split — so the old
+        threshold counts still map onto the same 0.5–1.0 scale.
+        """
+        if self.control_latencies:
+            from repro.security.stats import auc_separation
+
+            return auc_separation(self.control_latencies, self.latencies)
+        if self.probe_total == 0:
+            return 0.5
+        return 0.5 * (1.0 + self.hit_fraction)
+
+    def verdict(self, cutoff: float = DEFAULT_AUC_LEAK_CUTOFF) -> bool:
+        """Statistical leak verdict: does :meth:`leak_auc` clear ``cutoff``?"""
+        return self.leak_auc() > cutoff
+
     @property
     def leaked(self) -> bool:
-        """Did the attacker learn anything (any hit at all)?"""
-        return self.probe_hits > 0
+        """Deprecated alias for :meth:`verdict` at the default cutoff.
+
+        Historically ``probe_hits > 0``; the AUC fallback preserves that
+        answer for every hit fraction above ``2 * (cutoff - 0.5)`` (10%
+        at the default) while letting control-arm attacks get a real
+        two-distribution verdict.  Use :meth:`verdict` in new code.
+        """
+        warnings.warn(
+            "AttackOutcome.leaked is deprecated; use "
+            "AttackOutcome.verdict() (statistical AUC verdict) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.verdict()
 
 
 class SharedArrayScenario:

@@ -17,7 +17,7 @@ no timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 from repro.attacks.base import hit_threshold
 from repro.common.config import SimConfig
@@ -42,6 +42,11 @@ class KeystrokeResult:
     probe_total: int
     match_tolerance: int
     matched: int = field(default=0)
+    #: every poll as (probe timestamp, measured latency) — the raw
+    #: observation stream, so distribution-level scoring can label each
+    #: probe by its distance from a true press instead of re-deriving
+    #: events from the thresholded hit times.
+    probe_log: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
     def recall(self) -> float:
@@ -87,6 +92,7 @@ def run_keystroke_attack(
     gaps = [rng.randint(min_gap, max_gap) for _ in range(presses)]
     true_press_times: List[int] = []
     hit_times: List[int] = []
+    probe_log: List[Tuple[int, int]] = []
     total_probes = [0]
 
     def victim() -> ProgramGen:
@@ -113,6 +119,7 @@ def run_keystroke_attack(
             yield Fence()
             t1 = yield Rdtsc()
             total_probes[0] += 1
+            probe_log.append((t1, t1 - t0 - 3))
             if (t1 - t0 - 3) < threshold:
                 hit_times.append(t1)
 
@@ -142,4 +149,5 @@ def run_keystroke_attack(
         probe_total=total_probes[0],
         match_tolerance=tolerance,
         matched=matched,
+        probe_log=probe_log,
     )

@@ -113,6 +113,9 @@ class RsaAttackResult:
     probe_hits: int
     probe_total: int
     samples: List[Tuple[int, bool, bool, bool]] = field(default_factory=list)
+    #: raw reload latencies in probe order (three per sample — square,
+    #: multiply, reduce), for distribution-level leakage scoring.
+    latencies: List[int] = field(default_factory=list)
     ciphertext_ok: bool = False
     #: core-local cycles the victim's signing took (for comparing the
     #: constant-time mitigation's cost against the normal victim)
@@ -156,6 +159,7 @@ def run_rsa_attack(
     attacker_wait: int = 200,
     max_steps: int = 30_000_000,
     constant_time_victim: bool = False,
+    victim_signs: bool = True,
 ) -> RsaAttackResult:
     """Run the full attack on a 2-core machine (attacker ctx0, victim ctx1).
 
@@ -169,6 +173,11 @@ def run_rsa_attack(
     The fetch pattern becomes key-independent — but the signing pays the
     full multiply cost on every bit, the "significant performance
     penalty" of constant-time transformations.
+
+    ``victim_signs=False`` runs the control arm of the
+    distinguishability game: the victim stays scheduled and burns the
+    same per-bit compute budget but never fetches the library lines, so
+    the attacker's probe latencies sample the no-signing distribution.
     """
     if config.hierarchy.num_hw_contexts < 2:
         raise ConfigError("the RSA attack needs two hardware contexts")
@@ -209,6 +218,10 @@ def run_rsa_attack(
 
         acc = 1
         for bit in key.d_bits:
+            if not victim_signs:
+                # Control arm: same schedule occupancy, no library use.
+                yield Compute(2 * work_per_call)
+                continue
             yield from call(square_addr)  # acc = acc^2
             acc = acc * acc
             yield from call(reduce_addr)  # acc mod n
@@ -235,6 +248,7 @@ def run_rsa_attack(
     # ------------------------------------------------------------------
     threshold = hit_threshold(config)
     samples: List[Tuple[int, bool, bool, bool]] = []
+    latencies: List[int] = []
 
     def attacker_program() -> ProgramGen:
         while True:
@@ -249,7 +263,9 @@ def run_rsa_attack(
                 yield Load(addr)
                 yield Fence()
                 t1 = yield Rdtsc()
-                hits.append((t1 - t0 - 3) < threshold)
+                latency = t1 - t0 - 3
+                latencies.append(latency)
+                hits.append(latency < threshold)
             samples.append((stamp, hits[0], hits[1], hits[2]))
 
     attacker_task = attacker_proc.spawn(
@@ -272,6 +288,7 @@ def run_rsa_attack(
         probe_hits=probe_hits,
         probe_total=3 * len(samples),
         samples=samples,
+        latencies=latencies,
         ciphertext_ok=result_box.get("ciphertext") == pow(message, key.d, key.n),
         victim_cycles=victim_task.cycles,
     )

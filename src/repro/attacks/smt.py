@@ -30,6 +30,7 @@ def run_smt_flush_reload(
     shared_lines: int = 32,
     rounds: int = 4,
     wait_cycles: int = 10_000,
+    victim_active: bool = True,
 ) -> AttackOutcome:
     """Flush+reload between sibling hyperthreads sharing L1 and LLC.
 
@@ -38,6 +39,10 @@ def run_smt_flush_reload(
     contexts share L1I/L1D.  Baseline: the attacker's reload after the
     victim's store hits in the *L1* (the sharpest possible signal).
     TimeCache: every reload is a first access.
+
+    ``victim_active=False`` keeps the sibling thread resident but idle
+    (pure compute, never touching the shared buffer) — the control arm
+    of the distinguishability game the tournament scores.
     """
     if config.hierarchy.threads_per_core < 2:
         raise ConfigError("SMT attack needs threads_per_core >= 2")
@@ -68,10 +73,12 @@ def run_smt_flush_reload(
         yield Exit()
 
     def victim() -> ProgramGen:
-        # The sibling thread continuously works on the shared buffer.
+        # The sibling thread continuously works on the shared buffer —
+        # or, in the control arm, burns the same cycles without it.
         for _ in range(rounds * 4):
-            for i in range(shared_lines):
-                yield Store(SHARED_BASE + i * line_bytes)
+            if victim_active:
+                for i in range(shared_lines):
+                    yield Store(SHARED_BASE + i * line_bytes)
             yield Compute(wait_cycles // 4)
         yield Exit()
 

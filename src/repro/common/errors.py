@@ -132,6 +132,17 @@ class CalibrationError(ReproError):
         super().__init__(f"{detail}{bounds}")
 
 
+class LeakageStatsError(ReproError):
+    """Leakage scoring was handed unusable latency populations.
+
+    Raised by :mod:`repro.security.stats` when a distinguishability score
+    (ROC/AUC, mutual information, bootstrap interval) is requested over
+    an empty or one-class sample set — a number computed from such input
+    would be an artifact of the harness, not a property of the channel,
+    so the tournament quarantines the cell instead of recording it.
+    """
+
+
 class SchedulerError(ReproError):
     """An OS-layer scheduling operation was invalid (e.g. unknown process)."""
 

@@ -1,0 +1,28 @@
+"""Statistical security evaluation: leakage scoring for the tournament.
+
+The tournament harness (:mod:`repro.analysis.tournament`) runs each
+attack with the victim active and inactive; this package turns the two
+probe-latency populations into distinguishability scores and verdicts.
+"""
+
+from repro.security.stats import (
+    LEAK_AUC_CUTOFF,
+    BootstrapCI,
+    auc_separation,
+    bootstrap_auc,
+    mutual_information_bits,
+    roc_auc,
+    roc_curve,
+    score_populations,
+)
+
+__all__ = [
+    "LEAK_AUC_CUTOFF",
+    "BootstrapCI",
+    "auc_separation",
+    "bootstrap_auc",
+    "mutual_information_bits",
+    "roc_auc",
+    "roc_curve",
+    "score_populations",
+]

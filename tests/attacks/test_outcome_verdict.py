@@ -1,0 +1,77 @@
+"""AttackOutcome's statistical verdict and the deprecated ``leaked`` alias."""
+
+import pytest
+
+from repro.attacks.base import DEFAULT_AUC_LEAK_CUTOFF, AttackOutcome
+
+
+# ----------------------------------------------------------------------
+# fallback path: no control arm, AUC implied by the hit fraction
+# ----------------------------------------------------------------------
+def test_leak_auc_fallback_maps_hit_fraction():
+    assert AttackOutcome(0, 10).leak_auc() == pytest.approx(0.5)
+    assert AttackOutcome(5, 10).leak_auc() == pytest.approx(0.75)
+    assert AttackOutcome(10, 10).leak_auc() == pytest.approx(1.0)
+
+
+def test_leak_auc_no_probes_is_noninformative():
+    assert AttackOutcome(0, 0).leak_auc() == pytest.approx(0.5)
+    assert AttackOutcome(0, 0).verdict() is False
+
+
+def test_verdict_threshold_on_fallback():
+    # cutoff 0.55 ⇔ hit fraction 10%: 1/10 hits sits exactly at the
+    # cutoff (verdict is strict), 2/10 clears it.
+    assert AttackOutcome(1, 10).verdict() is False
+    assert AttackOutcome(2, 10).verdict() is True
+    assert AttackOutcome(1, 10).verdict(cutoff=0.54) is True
+
+
+# ----------------------------------------------------------------------
+# control-arm path: real two-sample statistic
+# ----------------------------------------------------------------------
+def test_control_arm_overrides_hit_counting():
+    # Hit counts claim a leak, but the control distribution is identical
+    # to the probe distribution — no distinguishability, no leak.
+    outcome = AttackOutcome(
+        8, 8, latencies=[4] * 8, control_latencies=[4] * 8
+    )
+    assert outcome.leak_auc() == pytest.approx(0.5)
+    assert outcome.verdict() is False
+
+
+def test_control_arm_detects_separation_without_hits():
+    # No probe classified as a "hit", yet the two distributions are
+    # disjoint — exactly the case threshold counting misses.
+    outcome = AttackOutcome(
+        0, 8, latencies=[60] * 8, control_latencies=[90] * 8
+    )
+    assert outcome.leak_auc() == pytest.approx(1.0)
+    assert outcome.verdict() is True
+
+
+# ----------------------------------------------------------------------
+# deprecated alias
+# ----------------------------------------------------------------------
+def test_leaked_warns_and_matches_verdict():
+    outcome = AttackOutcome(7, 8)
+    with pytest.warns(DeprecationWarning, match="verdict"):
+        assert outcome.leaked is True
+    clean = AttackOutcome(0, 8)
+    with pytest.warns(DeprecationWarning):
+        assert clean.leaked is False
+
+
+def test_leaked_preserves_historical_answers_at_observed_fractions():
+    # The pre-statistical rule was ``probe_hits > 0``.  Real runs land
+    # either near-zero (defended) or well above 10% (undefended), where
+    # the AUC fallback gives the same answer.
+    for hits, total, expected in [(0, 64, False), (60, 64, True), (64, 64, True)]:
+        with pytest.warns(DeprecationWarning):
+            assert AttackOutcome(hits, total).leaked is expected
+
+
+def test_default_cutoff_is_below_tournament_cutoff():
+    from repro.security.stats import LEAK_AUC_CUTOFF
+
+    assert DEFAULT_AUC_LEAK_CUTOFF < LEAK_AUC_CUTOFF

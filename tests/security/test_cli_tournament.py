@@ -1,0 +1,82 @@
+"""End-to-end tests for the ``repro tournament`` command and its gate."""
+
+import json
+
+from repro.analysis.cli import EXIT_FATAL, build_parser, main
+from repro.robustness import safeio
+
+
+def _run(tmp_path, *extra, quiet=True):
+    output = tmp_path / "SECURITY.json"
+    argv = [
+        "tournament", "--quick", "--attacks", "flush_reload",
+        "--engine", "object", "--boot", "50", "--jobs", "1",
+        "--output", str(output), *extra,
+    ]
+    if quiet:
+        argv.append("--quiet")
+    return main(argv), output
+
+
+def test_parser_accepts_tournament_flags():
+    args = build_parser().parse_args(
+        [
+            "tournament", "--quick", "--jobs", "2", "--engine", "fast",
+            "--attacks", "flush_reload", "--seeds", "2", "--boot", "100",
+            "--baseline", "b.json", "--tolerance", "0.1",
+            "--update-baseline", "nb.json", "--resume", "ck.json",
+        ]
+    )
+    assert args.command == "tournament"
+    assert args.engine == "fast"
+    assert args.attacks == ["flush_reload"]
+    assert args.tolerance == 0.1
+
+
+def test_tournament_writes_scorecard_and_manifest(tmp_path, capsys):
+    status, output = _run(tmp_path)
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "flush_reload|baseline|object" in out
+    assert "flush_reload|timecache|object" in out
+    scorecard = json.loads(output.read_text())
+    assert scorecard["kind"] == "security_scorecard"
+    assert len(scorecard["cells"]) == 2
+    assert scorecard["gaps"] == []
+    manifest = json.loads((tmp_path / "SECURITY.json.manifest.json").read_text())
+    assert manifest["extra"]["cells"] == 2
+
+
+def test_tournament_rejects_unknown_attack(tmp_path, capsys):
+    argv = [
+        "tournament", "--quick", "--attacks", "bogus",
+        "--output", str(tmp_path / "S.json"), "--quiet",
+    ]
+    assert main(argv) == EXIT_FATAL
+
+
+def test_tournament_update_then_gate_passes(tmp_path, capsys):
+    baseline = tmp_path / "BASELINE.json"
+    status, _ = _run(tmp_path, "--update-baseline", str(baseline))
+    assert status == 0
+    assert baseline.exists()
+    status, _ = _run(tmp_path, "--baseline", str(baseline), quiet=False)
+    assert status == 0
+    captured = capsys.readouterr()
+    assert "security gate passed" in captured.out + captured.err
+
+
+def test_tournament_gate_fails_on_doctored_baseline(tmp_path, capsys):
+    """ISSUE acceptance: an injected regression must fail the gate."""
+    baseline = tmp_path / "BASELINE.json"
+    status, _ = _run(tmp_path, "--update-baseline", str(baseline))
+    assert status == 0
+    doc = json.loads(baseline.read_text())
+    doc["cells"]["flush_reload|timecache|object"]["separation"] = 0.30
+    # Re-seal so only the gate (not the integrity check) can object.
+    baseline.write_text(json.dumps(safeio.seal(doc)))
+    status, _ = _run(tmp_path, "--baseline", str(baseline))
+    assert status == EXIT_FATAL
+    err = capsys.readouterr().err
+    assert "SECURITY REGRESSION" in err
+    assert "flush_reload|timecache|object" in err

@@ -1,0 +1,210 @@
+"""Unit tests for the leakage-scoring statistics.
+
+AUC values are checked against hand-computable synthetic distributions,
+mutual information against exact entropy arithmetic, and the bootstrap
+against its own determinism contract.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import LeakageStatsError, ReproError
+from repro.security.stats import (
+    BootstrapCI,
+    auc_separation,
+    bootstrap_auc,
+    mutual_information_bits,
+    roc_auc,
+    roc_curve,
+    score_populations,
+)
+
+
+# ----------------------------------------------------------------------
+# roc_auc
+# ----------------------------------------------------------------------
+def test_auc_identical_distributions_is_half():
+    samples = [5, 5, 5, 5, 5, 5]
+    assert roc_auc(samples, samples) == pytest.approx(0.5)
+
+
+def test_auc_identical_multivalue_distributions_is_half():
+    samples = [1, 2, 3, 4, 5, 6]
+    assert roc_auc(samples, list(samples)) == pytest.approx(0.5)
+
+
+def test_auc_disjoint_distributions():
+    low = [1, 2, 3]
+    high = [10, 11, 12]
+    assert roc_auc(low, high) == pytest.approx(1.0)
+    assert roc_auc(high, low) == pytest.approx(0.0)
+
+
+def test_auc_hand_computed_with_ties():
+    # neg = [1, 3], pos = [2, 3]: of the 4 (neg, pos) pairs —
+    # (1,2) pos wins, (1,3) pos wins, (3,2) neg wins, (3,3) tie (half)
+    # → AUC = (1 + 1 + 0 + 0.5) / 4 = 0.625
+    assert roc_auc([1, 3], [2, 3]) == pytest.approx(0.625)
+
+
+def test_auc_matches_brute_force_on_random_samples():
+    rng = np.random.default_rng(42)
+    neg = rng.integers(0, 12, size=37)
+    pos = rng.integers(3, 15, size=23)
+    wins = sum(
+        1.0 if p > n else 0.5 if p == n else 0.0 for n in neg for p in pos
+    )
+    assert roc_auc(neg, pos) == pytest.approx(wins / (len(neg) * len(pos)))
+
+
+def test_auc_matches_trapezoid_area_under_roc_curve():
+    rng = np.random.default_rng(7)
+    neg = rng.integers(0, 10, size=40)
+    pos = rng.integers(4, 14, size=40)
+    points = roc_curve(neg, pos)
+    area = sum(
+        (x1 - x0) * (y0 + y1) / 2.0
+        for (x0, y0), (x1, y1) in zip(points, points[1:])
+    )
+    assert roc_auc(neg, pos) == pytest.approx(area)
+
+
+def test_auc_separation_folds_direction():
+    low, high = [1, 2, 3], [10, 11, 12]
+    assert auc_separation(low, high) == pytest.approx(1.0)
+    assert auc_separation(high, low) == pytest.approx(1.0)
+    assert auc_separation(low, low) == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# degenerate input raises the typed error
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "fn",
+    [roc_auc, auc_separation, mutual_information_bits, roc_curve],
+)
+@pytest.mark.parametrize("neg,pos", [([], [1, 2]), ([1, 2], []), ([], [])])
+def test_empty_class_raises_typed_error(fn, neg, pos):
+    with pytest.raises(LeakageStatsError):
+        fn(neg, pos)
+
+
+def test_bootstrap_empty_class_raises_typed_error():
+    with pytest.raises(LeakageStatsError):
+        bootstrap_auc([], [1, 2])
+
+
+def test_leakage_stats_error_is_a_repro_error():
+    assert issubclass(LeakageStatsError, ReproError)
+
+
+def test_bootstrap_rejects_bad_parameters():
+    with pytest.raises(LeakageStatsError):
+        bootstrap_auc([1], [2], n_boot=0)
+    with pytest.raises(LeakageStatsError):
+        bootstrap_auc([1], [2], alpha=1.5)
+
+
+# ----------------------------------------------------------------------
+# mutual information
+# ----------------------------------------------------------------------
+def test_mi_identical_distributions_is_zero():
+    samples = [4, 4, 4, 4]
+    assert mutual_information_bits(samples, samples) == pytest.approx(0.0)
+
+
+def test_mi_fully_separated_balanced_classes_is_one_bit():
+    # Latency determines the class exactly; balanced classes → H=1 bit.
+    # The contingency table has no sparse cells, so Miller-Madow's
+    # correction is exactly zero here: (2 - 2 - 2 + 1 + 1)/(2N) ... use
+    # the uncorrected estimator for the exact identity.
+    neg = [10] * 8
+    pos = [90] * 8
+    assert mutual_information_bits(neg, pos, miller_madow=False) == (
+        pytest.approx(1.0)
+    )
+
+
+def test_mi_hand_computed_partial_overlap():
+    # neg = [0, 0, 1, 1], pos = [1, 1, 2, 2]; N = 8.
+    # Joint counts: (neg,0)=2 (neg,1)=2 (pos,1)=2 (pos,2)=2 → H_joint=2.
+    # H_class = 1; symbols 0:2, 1:4, 2:2 → H_sym = 1.5.  MI = 0.5 bits.
+    mi = mutual_information_bits([0, 0, 1, 1], [1, 1, 2, 2], miller_madow=False)
+    assert mi == pytest.approx(0.5)
+
+
+def test_miller_madow_correction_value():
+    # neg=[0,1], pos=[2,2]; N=4.  Plug-in: H_class=1, H_sym=1.5,
+    # H_joint=1.5 → MI = 1.0 bit (latency determines class exactly).
+    # K_joint=3, K_class=2, K_symbol=3 → correction =
+    # (3 - 2 - 3 + 1) / (2 * 4 * ln 2) = -1/(8 ln 2) bits.
+    plain = mutual_information_bits([0, 1], [2, 2], miller_madow=False)
+    corrected = mutual_information_bits([0, 1], [2, 2])
+    assert plain == pytest.approx(1.0)
+    assert corrected == pytest.approx(1.0 - 1.0 / (8.0 * math.log(2.0)))
+
+
+def test_mi_clamped_to_class_entropy():
+    rng = np.random.default_rng(3)
+    neg = rng.integers(0, 1000, size=30)
+    pos = rng.integers(0, 1000, size=30)
+    mi = mutual_information_bits(neg, pos)
+    assert 0.0 <= mi <= 1.0
+
+
+# ----------------------------------------------------------------------
+# bootstrap
+# ----------------------------------------------------------------------
+def test_bootstrap_deterministic_under_fixed_seed():
+    rng = np.random.default_rng(11)
+    neg = list(rng.integers(0, 20, size=25))
+    pos = list(rng.integers(10, 30, size=25))
+    a = bootstrap_auc(neg, pos, n_boot=100, seed=123)
+    b = bootstrap_auc(neg, pos, n_boot=100, seed=123)
+    assert a == b
+
+
+def test_bootstrap_seed_changes_the_interval():
+    rng = np.random.default_rng(11)
+    neg = list(rng.integers(0, 20, size=25))
+    pos = list(rng.integers(10, 30, size=25))
+    a = bootstrap_auc(neg, pos, n_boot=100, seed=123)
+    b = bootstrap_auc(neg, pos, n_boot=100, seed=124)
+    assert (a.low, a.high) != (b.low, b.high)
+
+
+def test_bootstrap_interval_brackets_point_and_orders():
+    rng = np.random.default_rng(5)
+    neg = list(rng.integers(0, 15, size=40))
+    pos = list(rng.integers(5, 20, size=40))
+    ci = bootstrap_auc(neg, pos, n_boot=200, seed=9)
+    assert isinstance(ci, BootstrapCI)
+    assert 0.5 <= ci.low <= ci.high <= 1.0
+    assert ci.point == pytest.approx(auc_separation(neg, pos))
+
+
+def test_bootstrap_degenerate_separation_is_tight():
+    # Identical constant populations: every resample scores exactly 0.5.
+    ci = bootstrap_auc([7] * 10, [7] * 10, n_boot=50, seed=0)
+    assert ci.low == ci.high == ci.point == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# score_populations
+# ----------------------------------------------------------------------
+def test_score_populations_verdict_uses_ci_lower_bound():
+    separated = score_populations([1] * 20, [50] * 20, n_boot=50, seed=1)
+    assert separated["leak"] is True
+    assert separated["separation"] == pytest.approx(1.0)
+    identical = score_populations([5] * 20, [5] * 20, n_boot=50, seed=1)
+    assert identical["leak"] is False
+    assert identical["mi_bits"] == pytest.approx(0.0)
+
+
+def test_score_populations_is_json_ready():
+    import json
+
+    score = score_populations([1, 2, 3], [4, 5, 6], n_boot=20, seed=2)
+    json.dumps(score)  # no numpy scalars may survive into the payload

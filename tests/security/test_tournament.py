@@ -1,0 +1,207 @@
+"""Tournament harness tests: cell scoring, artifacts, and the gate.
+
+The simulation-backed smoke tests run the cheapest cell (flush+reload,
+object engine, quick sampling, small bootstrap) so the whole module
+stays fast; the gate logic is additionally unit-tested on synthetic
+cells so every failure direction is exercised without a simulator run.
+"""
+
+import pytest
+
+from repro.analysis import tournament as tm
+from repro.common.errors import LeakageStatsError
+
+
+def _quick_cell(defense, n_boot=50):
+    return tm.run_tournament_cell(
+        "flush_reload", defense, "object", seeds=(7,), quick=True,
+        n_boot=n_boot,
+    )
+
+
+# ----------------------------------------------------------------------
+# job matrix construction
+# ----------------------------------------------------------------------
+def test_tournament_jobs_unknown_attack_raises():
+    with pytest.raises(ValueError, match="unknown attack"):
+        tm.tournament_jobs(attacks=["flush_reload", "nonexistent"])
+
+
+def test_tournament_jobs_full_matrix_shape():
+    jobs = tm.tournament_jobs()
+    assert len(jobs) == len(tm.ATTACKS) * len(tm.DEFENSES) * len(tm.ENGINES)
+    labels = [job.label for job in jobs]
+    assert len(set(labels)) == len(labels)
+    assert tm.cell_label("flush_reload", "timecache", "object") in labels
+
+
+def test_run_tournament_cell_rejects_unknown_defense():
+    with pytest.raises(LeakageStatsError, match="unknown defense"):
+        tm.run_tournament_cell("flush_reload", "nocache", "object", (7,))
+
+
+# ----------------------------------------------------------------------
+# simulation-backed smoke: defense off leaks, defense on does not
+# ----------------------------------------------------------------------
+def test_flush_reload_leaks_without_defense():
+    cell = _quick_cell("baseline")
+    assert cell["separation"] > 0.9
+    assert cell["leak"] is True
+    assert cell["mi_bits"] > 0.5
+
+
+def test_flush_reload_silent_under_timecache():
+    cell = _quick_cell("timecache")
+    assert cell["separation"] <= 0.55
+    assert cell["leak"] is False
+
+
+def test_cell_score_is_deterministic():
+    assert _quick_cell("baseline") == _quick_cell("baseline")
+
+
+# ----------------------------------------------------------------------
+# the driver: checkpoint resume + artifacts round-trip
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def quick_outcome(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("tournament")
+    outcome = tm.run_tournament(
+        attacks=["flush_reload"],
+        engines=("object",),
+        seeds=(7,),
+        quick=True,
+        jobs=1,
+        n_boot=50,
+        checkpoint_path=tmp / "ck.json",
+    )
+    return tmp, outcome
+
+
+def test_run_tournament_scores_both_defenses(quick_outcome):
+    _, outcome = quick_outcome
+    assert outcome.complete
+    assert sorted(outcome.cells) == sorted(outcome.labels)
+    off = outcome.cells["flush_reload|baseline|object"]
+    on = outcome.cells["flush_reload|timecache|object"]
+    assert off["separation"] > 0.9
+    assert on["separation"] <= 0.55
+
+
+def test_run_tournament_resumes_from_checkpoint(quick_outcome):
+    tmp, first = quick_outcome
+    second = tm.run_tournament(
+        attacks=["flush_reload"],
+        engines=("object",),
+        seeds=(7,),
+        quick=True,
+        jobs=1,
+        n_boot=50,
+        checkpoint_path=tmp / "ck.json",
+    )
+    assert sorted(second.sweep.resumed) == sorted(first.labels)
+    assert second.cells == first.cells
+
+
+def test_scorecard_round_trip(quick_outcome, tmp_path):
+    _, outcome = quick_outcome
+    path = tm.write_scorecard(outcome, tmp_path / "SECURITY.json",
+                              params={"quick": True})
+    loaded = tm.load_scorecard(path)
+    assert loaded["kind"] == "security_scorecard"
+    assert loaded["cells"] == outcome.cells
+    assert loaded["gaps"] == []
+    assert loaded["params"] == {"quick": True}
+
+
+def test_baseline_round_trip_keeps_gate_fields_only(quick_outcome, tmp_path):
+    _, outcome = quick_outcome
+    path = tm.write_security_baseline(outcome, tmp_path / "BASELINE.json")
+    baseline = tm.load_security_baseline(path)
+    assert sorted(baseline) == sorted(outcome.cells)
+    for label, cell in baseline.items():
+        assert sorted(cell) == [
+            "ci_high", "ci_low", "leak", "mi_bits", "separation",
+        ]
+        assert cell["separation"] == outcome.cells[label]["separation"]
+
+
+def test_render_scorecard_lines(quick_outcome):
+    _, outcome = quick_outcome
+    text = tm.render_scorecard(outcome)
+    assert "flush_reload|baseline|object" in text
+    assert "LEAK" in text
+    assert "safe" in text
+
+
+# ----------------------------------------------------------------------
+# gate semantics on synthetic cells (no simulator needed)
+# ----------------------------------------------------------------------
+def _cell(defense, *, ci_low=0.45, ci_high=0.58, separation=0.5):
+    return {
+        "defense": defense,
+        "ci_low": ci_low,
+        "ci_high": ci_high,
+        "separation": separation,
+    }
+
+
+def test_gate_passes_against_itself(quick_outcome, tmp_path):
+    _, outcome = quick_outcome
+    path = tm.write_security_baseline(outcome, tmp_path / "BASELINE.json")
+    baseline = tm.load_security_baseline(path)
+    assert tm.compare_to_security_baseline(outcome.cells, baseline) == []
+
+
+def test_gate_flags_defense_regression():
+    cells = {"a|timecache|object": _cell("timecache", ci_low=0.80)}
+    baseline = {"a|timecache|object": {"separation": 0.50, "leak": False}}
+    failures = tm.compare_to_security_baseline(cells, baseline)
+    assert len(failures) == 1
+    assert "defense regression" in failures[0]
+
+
+def test_gate_tolerance_absorbs_small_drift():
+    cells = {"a|timecache|object": _cell("timecache", ci_low=0.54)}
+    baseline = {"a|timecache|object": {"separation": 0.50, "leak": False}}
+    assert tm.compare_to_security_baseline(cells, baseline) == []
+
+
+def test_gate_sanity_direction_fires_when_leak_vanishes():
+    cells = {"a|baseline|object": _cell("baseline", ci_high=0.52)}
+    baseline = {"a|baseline|object": {"separation": 1.0, "leak": True}}
+    failures = tm.compare_to_security_baseline(cells, baseline)
+    assert len(failures) == 1
+    assert "sanity failure" in failures[0]
+
+
+def test_gate_sanity_direction_needs_confident_silence():
+    # CI high still reaches the leak cutoff: not confidently silent.
+    cells = {"a|baseline|object": _cell("baseline", ci_high=0.70)}
+    baseline = {"a|baseline|object": {"separation": 1.0, "leak": True}}
+    assert tm.compare_to_security_baseline(cells, baseline) == []
+
+
+def test_gate_ignores_one_sided_cells():
+    # A new attack (no baseline entry) and a retired baseline entry
+    # (no scored cell) must both be inert.
+    cells = {"new|timecache|object": _cell("timecache", ci_low=0.99)}
+    baseline = {"old|baseline|object": {"separation": 1.0, "leak": True}}
+    assert tm.compare_to_security_baseline(cells, baseline) == []
+
+
+def test_gate_fails_on_doctored_committed_baseline(quick_outcome, tmp_path):
+    """The ISSUE's acceptance check: a doctored baseline must fail.
+
+    Lower the recorded defended separation far below what the harness
+    reproduces and the gate must flag it as a defense regression.
+    """
+    _, outcome = quick_outcome
+    baseline = tm.load_security_baseline(
+        tm.write_security_baseline(outcome, tmp_path / "B.json")
+    )
+    baseline["flush_reload|timecache|object"]["separation"] = 0.30
+    failures = tm.compare_to_security_baseline(
+        outcome.cells, baseline, tolerance=0.05
+    )
+    assert any("flush_reload|timecache|object" in f for f in failures)
