@@ -18,6 +18,16 @@ watch.  The workloads:
   observability layer: no tracer, a disabled tracer (the production
   default, gated at <5% overhead), and an enabled tracer streaming
   JSONL;
+* ``fill_kernel``       — a cold sweep of distinct lines through
+  ``access_batch``: every access is a miss + fill, so the median times
+  the batched fill path end to end (events/s in ``extra``);
+* ``evict_kernel``      — the same sweep against a warmed hierarchy:
+  every fill must evict a victim first, timing victim selection +
+  eviction bookkeeping at steady state;
+* ``sbit_miss_kernel``  — context switch to a fresh task, then re-touch
+  an L1-resident working set: every access is a first-access s-bit miss
+  on a resident line (TimeCache's signature event), timing the batched
+  s-bit miss-resolution cohort;
 * ``sweep_parallel``    — a small SPEC pair sweep at ``--jobs 1`` vs
   ``--jobs N``, recording the process-pool speedup.
 
@@ -59,6 +69,9 @@ ENGINE_AWARE = (
     "hierarchy_access",
     "hierarchy_access_batched",
     "hierarchy_access_traced",
+    "fill_kernel",
+    "evict_kernel",
+    "sbit_miss_kernel",
     "sweep_parallel",
 )
 
@@ -376,6 +389,130 @@ def bench_hierarchy_access_traced(
     )
 
 
+def _kernel_bench_setup(engine: str, l1_kib: int = 4, llc_kib: int = 128):
+    """System factory + AccessKind for the kernel-level microbenches."""
+    from repro.common.config import scaled_experiment_config
+    from repro.core.timecache import TimeCacheSystem
+    from repro.memsys.hierarchy import AccessKind
+
+    config = scaled_experiment_config(
+        l1_kib=l1_kib, llc_kib=llc_kib, seed=7, engine=engine
+    )
+    line = config.hierarchy.line_bytes
+    return (lambda: TimeCacheSystem(config)), line, AccessKind.LOAD
+
+
+def _timed_batches(make_system, addrs, load, repeats, warm_passes=0):
+    """Time ``access_batch`` over ``addrs`` on a fresh system per repeat,
+    optionally warming the hierarchy with untimed passes first."""
+    runs: List[float] = []
+    for _ in range(repeats):
+        system = make_system()
+        for _ in range(warm_passes):
+            system.hierarchy.access_batch(0, addrs, load, now=0, advance=0)
+        start = time.perf_counter()
+        system.hierarchy.access_batch(0, addrs, load, now=0, advance=0)
+        runs.append(time.perf_counter() - start)
+    return runs
+
+
+def bench_fill_kernel(quick: bool = False, engine: str = "object") -> BenchResult:
+    """Batched miss + fill throughput: a cold sweep of distinct lines.
+
+    Every access is an L1 miss that fills both levels (the pool fits
+    the LLC, so the sweep exercises the vectorized fill kernel, not
+    the LLC-capacity scalar boundary).  ``events_per_s`` is the
+    kernel-level number the vectorized fill path is gated on.
+    """
+    make_system, line, load = _kernel_bench_setup(engine, llc_kib=1024)
+    events = 4_000 if quick else 12_000
+    addrs = [i * line for i in range(events)]
+    runs = _timed_batches(
+        make_system, addrs, load, repeats=5 if quick else 9
+    )
+    median = statistics.median(runs)
+    return BenchResult(
+        name="fill_kernel",
+        runs=runs,
+        extra={
+            "events": float(events),
+            "events_per_s": events / median if median else 0.0,
+        },
+    )
+
+
+def bench_evict_kernel(quick: bool = False, engine: str = "object") -> BenchResult:
+    """Batched L1 eviction throughput: a working set that fits the LLC
+    but overflows the L1 many times over, driven at steady state.
+
+    The hierarchy is warmed with an untimed pass first, so every timed
+    access is an L1 miss whose fill has to select a victim and evict it
+    (victim rehearsal, dirty/counter bookkeeping, tag maintenance)
+    before re-installing the line from an LLC hit.
+    """
+    make_system, line, load = _kernel_bench_setup(engine)
+    events = 20_000 if quick else 100_000
+    pool = 1_500
+    addrs = [((i * 131) % pool) * line for i in range(events)]
+    runs = _timed_batches(
+        make_system, addrs, load, repeats=3 if quick else 5, warm_passes=1
+    )
+    median = statistics.median(runs)
+    return BenchResult(
+        name="evict_kernel",
+        runs=runs,
+        extra={
+            "events": float(events),
+            "events_per_s": events / median if median else 0.0,
+        },
+    )
+
+
+def bench_sbit_miss_kernel(
+    quick: bool = False, engine: str = "object"
+) -> BenchResult:
+    """Batched s-bit first-access-miss throughput.
+
+    A working set resident in a large L1 is re-touched right after a
+    context switch to a brand-new task: the tags all hit but every
+    s-bit is clear, so each access is TimeCache's forced first-access
+    miss on a resident line — the event the defense makes ubiquitous
+    and the batched cohort path exists for.  Each timed run performs
+    several switch + full-sweep rounds.
+    """
+    make_system, line, load = _kernel_bench_setup(engine, l1_kib=64, llc_kib=256)
+    lines_resident = 768
+    rounds = 4 if quick else 16
+    addrs = [i * line for i in range(lines_resident)]
+    events = lines_resident * rounds
+    repeats = 3 if quick else 5
+    runs: List[float] = []
+    for _ in range(repeats):
+        system = make_system()
+        # warm: fill the working set into L1 for task 0
+        out = system.hierarchy.access_batch(0, addrs, load, now=0, advance=0)
+        now = out.now
+        task = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            task += 1
+            cost = system.context_switch(task - 1, task, 0, now)
+            now += cost.dma_cycles
+            out = system.hierarchy.access_batch(0, addrs, load, now=now, advance=0)
+            now = out.now
+        runs.append(time.perf_counter() - start)
+    median = statistics.median(runs)
+    return BenchResult(
+        name="sbit_miss_kernel",
+        runs=runs,
+        extra={
+            "events": float(events),
+            "rounds": float(rounds),
+            "events_per_s": events / median if median else 0.0,
+        },
+    )
+
+
 def bench_sweep_parallel(
     quick: bool = False, jobs: Optional[int] = None, engine: str = "object"
 ) -> BenchResult:
@@ -439,6 +576,9 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "hierarchy_access": bench_hierarchy_access,
     "hierarchy_access_batched": bench_hierarchy_access_batched,
     "hierarchy_access_traced": bench_hierarchy_access_traced,
+    "fill_kernel": bench_fill_kernel,
+    "evict_kernel": bench_evict_kernel,
+    "sbit_miss_kernel": bench_sbit_miss_kernel,
     "sweep_parallel": bench_sweep_parallel,
 }
 
@@ -626,8 +766,17 @@ def render_results(results: Mapping[str, BenchResult]) -> str:
             extras = f"  fast_speedup {result.extra['fast_speedup']:.1f}x"
         elif "accesses_per_s" in result.extra:
             extras = f"  {result.extra['accesses_per_s']:,.0f} accesses/s"
+        elif "events_per_s" in result.extra:
+            extras = f"  {result.extra['events_per_s']:,.0f} events/s"
         lines.append(
             f"{name:<18} median {result.median_s:.4f}s over "
             f"{len(result.runs)} run(s){extras}"
         )
+        speedup = result.extra.get("batch_speedup")
+        if speedup is not None and speedup < 1.0:
+            lines.append(
+                f"  !! {name}: batching is SLOWER than the scalar loop "
+                f"(batch_speedup {speedup:.2f}x) — known cost on the "
+                f"object engine, see benchmarks/perf/README.md"
+            )
     return "\n".join(lines)

@@ -88,6 +88,9 @@ class TestOutputFiles:
             "hierarchy_access",
             "hierarchy_access_batched",
             "sweep_parallel",
+            "fill_kernel",
+            "evict_kernel",
+            "sbit_miss_kernel",
         }
 
     def test_unknown_name_rejected(self):
@@ -149,6 +152,59 @@ class TestBatchedBench:
         # owns the real perf bar; this only catches a catastrophically
         # broken batch path.
         assert fast.extra["batch_speedup"] > 0.3
+
+
+class TestKernelArms:
+    @pytest.mark.parametrize(
+        "name", ["fill_kernel", "evict_kernel", "sbit_miss_kernel"]
+    )
+    def test_kernel_arm_records_event_rate(self, name):
+        result = run_benchmarks(names=[name], quick=True)[name]
+        assert result.median_s > 0
+        assert result.extra["events"] > 0
+        assert result.extra["events_per_s"] > 0
+
+    def test_kernel_arms_are_engine_aware(self):
+        results = run_benchmarks(
+            names=["sbit_miss_kernel"], quick=True, engine="fast"
+        )
+        assert list(results) == ["sbit_miss_kernel_fast"]
+        assert results["sbit_miss_kernel_fast"].extra["events_per_s"] > 0
+
+    def test_render_shows_event_rate(self):
+        from repro.analysis.bench import render_results
+
+        result = BenchResult(
+            "fill_kernel",
+            runs=[0.5],
+            extra={"events": 1000.0, "events_per_s": 2000.0},
+        )
+        out = render_results({"fill_kernel": result})
+        assert "2,000 events/s" in out
+
+    def test_render_flags_slow_batching(self):
+        from repro.analysis.bench import render_results
+
+        result = BenchResult(
+            "hierarchy_access_batched",
+            runs=[0.5],
+            extra={"accesses_per_s": 1.0, "batch_speedup": 0.82},
+        )
+        out = render_results({"hierarchy_access_batched": result})
+        assert "SLOWER" in out
+        assert "0.82x" in out
+        assert "benchmarks/perf/README.md" in out
+
+    def test_render_no_flag_when_batching_wins(self):
+        from repro.analysis.bench import render_results
+
+        result = BenchResult(
+            "hierarchy_access_batched_fast",
+            runs=[0.5],
+            extra={"accesses_per_s": 1.0, "batch_speedup": 2.4},
+        )
+        out = render_results({"hierarchy_access_batched_fast": result})
+        assert "SLOWER" not in out
 
 
 class TestEngineSelection:

@@ -250,6 +250,162 @@ def test_expired_batch_deadline_raises_cooperatively(engine):
     assert len(out.results) == len(addrs)
 
 
+# ---------------------------------------------------------------------------
+# Adversarial window shapes for the vectorized miss-resolution kernels
+# ---------------------------------------------------------------------------
+
+
+def _assert_batch_matches_scalar(engine, addrs, kinds, advance=1, tc=None):
+    tc = tc or {}
+    batched = TimeCacheSystem(_config(engine, **tc))
+    outcome = batched.access_batch(0, addrs, kinds, now=0, advance=advance)
+    scalar = TimeCacheSystem(_config(engine, **tc))
+    if isinstance(kinds, AccessKind):
+        kinds = [kinds] * len(addrs)
+    expected, cursor = _run_scalar(scalar, 0, addrs, kinds, 0, advance)
+    assert _observe(outcome.results) == _observe(expected)
+    assert outcome.now == cursor
+    assert _snapshot(batched) == _snapshot(scalar)
+    assert batched.stats_snapshot() == scalar.stats_snapshot()
+    return batched, scalar
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+@pytest.mark.parametrize("tc_enabled", [False, True])
+def test_all_miss_window_matches_scalar(engine, tc_enabled):
+    """A window of nothing but cold misses — no simple hit anywhere — must
+    retire through the fill kernels bit-identically to the scalar loop."""
+    addrs = [i * LINE for i in range(1500)]
+    tc = {} if tc_enabled else {"enabled": False}
+    _assert_batch_matches_scalar(engine, addrs, LOAD, tc=tc)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_same_set_conflict_storm(engine):
+    """Every access maps to one cache set (stride covers any power-of-two
+    set count up to 64): chained same-set victim selections inside a
+    single window must pick the exact victims the in-order loop would."""
+    addrs = [((i * 13 % 40) * 64) * LINE for i in range(1200)]
+    kinds = [LOAD if i % 7 else IFETCH for i in range(1200)]
+    _assert_batch_matches_scalar(engine, addrs, kinds)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_window_boundary_evictions(engine, monkeypatch):
+    """With the adaptive window clamped tiny, evictions land on every
+    window boundary; re-entry state (etag mirrors, LRU stamps, s-bits)
+    must carry across boundaries exactly."""
+    from repro.memsys.fastengine import FastHierarchy
+
+    monkeypatch.setattr(FastHierarchy, "_BATCH_WINDOW_MAX", 32)
+    addrs = [(i * 37 % 700) * LINE for i in range(1400)]
+    _assert_batch_matches_scalar(engine, addrs, LOAD)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_stores_to_just_filled_lines(engine):
+    """A store immediately following the load that filled its line (same
+    window) must hit the freshly filled slot and set the dirty bit, not
+    re-fill: the store path has to see in-window fills."""
+    addrs, kinds = [], []
+    for i in range(400):
+        line = (i * 3 % 500) * LINE
+        addrs += [line, line]
+        kinds += [LOAD, STORE]
+    _assert_batch_matches_scalar(engine, addrs, kinds)
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_replan_invalidation_rescans_new_hazards(engine):
+    """Regression: when a re-planned round invalidates a prior stale-miss
+    conversion (``bad``), the same schedule change can make an *earlier*
+    position newly stale — here the store at index 13 hits a line the
+    round-two schedule evicts at index 12.  The cut must cover the
+    earliest hazard of either kind, not just the invalidated conversion
+    (shrunk from a milc profile stream that raised KeyError in apply)."""
+    import dataclasses
+
+    from tests.conftest import tiny_config
+
+    lines = [
+        2097237, 2097205, 2097225, 2097157, 2097165, 2097161, 2097225,
+        2097233, 2097393, 2097237, 2097177, 2097253, 2097157, 2097393,
+        2097177, 2097273, 2097233, 2097218, 2097199, 2097200, 2097394,
+        65558, 2097165, 2097274, 2097204, 2097163, 2097260, 524295,
+        2097394, 2097394, 2097219, 2097253,
+    ]
+    codes = "LSLSLLSSLSLLLSLLLLSLLILLLLLILSLL"
+    addrs = [line * LINE for line in lines]
+    kinds = [{"L": LOAD, "S": STORE, "I": IFETCH}[c] for c in codes]
+    cfg = tiny_config()
+    cfg = dataclasses.replace(
+        cfg, hierarchy=dataclasses.replace(cfg.hierarchy, engine=engine)
+    )
+    batched = TimeCacheSystem(cfg)
+    outcome = batched.access_batch(0, addrs, kinds, now=0, advance=1)
+    scalar = TimeCacheSystem(cfg)
+    expected, cursor = _run_scalar(scalar, 0, addrs, kinds, 0, 1)
+    assert _observe(outcome.results) == _observe(expected)
+    assert outcome.now == cursor
+    assert _snapshot(batched) == _snapshot(scalar)
+    assert batched.stats_snapshot() == scalar.stats_snapshot()
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_repeated_line_touches_last_write_wins(engine):
+    """Many touches of the same line inside one window: the replacement
+    stamp scatter uses duplicate indices, and numpy's last-write-wins
+    ordering must leave exactly the scalar loop's final stamp (regression
+    for the duplicate-index scatter contract the LRU plan relies on)."""
+    addrs = []
+    for i in range(50):
+        addrs += [0, LINE * 3, 0, 0, LINE * 3]
+    addrs += [i * LINE for i in range(30)]  # then some churn
+    batched, scalar = _assert_batch_matches_scalar(engine, addrs, LOAD)
+    if engine == "fast":
+        for cb, cs in zip(
+            batched.hierarchy.all_caches(), scalar.hierarchy.all_caches()
+        ):
+            assert cb.last_flat.tolist() == cs.last_flat.tolist(), cb.name
+            assert cb.filled_flat.tolist() == cs.filled_flat.tolist(), cb.name
+
+
+@pytest.mark.parametrize("engine", ["object", "fast"])
+def test_deadline_expiry_mid_kernel_leaves_consistent_state(
+    engine, monkeypatch
+):
+    """A ``batch_deadline`` that expires *between kernel windows* must
+    raise ``SimulationTimeout`` with the hierarchy at a state the scalar
+    loop could have produced: some exact prefix of the stream applied,
+    never a half-applied window."""
+    import repro.memsys.hierarchy as hier_mod
+    from repro.common.errors import SimulationTimeout
+
+    addrs = [(i * 37 % 600) * LINE for i in range(1200)]
+    system = TimeCacheSystem(_config(engine))
+
+    # deterministic clock: the first deadline check passes, the second
+    # one fails, so the run dies mid-batch no matter how fast the host
+    # is (the object engine checks every 1024 accesses, the fast engine
+    # between kernel windows)
+    ticks = iter(range(10_000))
+    monkeypatch.setattr(hier_mod.time, "monotonic", lambda: next(ticks))
+    system.hierarchy.batch_deadline = 0.5
+    with pytest.raises(SimulationTimeout, match="batched access run"):
+        system.access_batch(0, addrs, LOAD, now=0, advance=1)
+    monkeypatch.undo()
+    state = _snapshot(system)
+
+    # the surviving state must equal the scalar replay of some prefix
+    scalar = TimeCacheSystem(_config(engine))
+    prefixes = [_snapshot(scalar)]
+    cursor = 0
+    for addr in addrs:
+        cursor += 1 + scalar.access(0, addr, LOAD, cursor).latency
+        prefixes.append(_snapshot(scalar))
+    assert state in prefixes
+
+
 @pytest.mark.parametrize("engine", ["object", "fast"])
 def test_unarmed_deadline_costs_nothing_and_changes_nothing(engine):
     """With no deadline armed (the default), batched results are

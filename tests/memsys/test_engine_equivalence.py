@@ -115,6 +115,8 @@ def _run_trace(
     pool=192,
     traced=False,
     batched=False,
+    kinds=KINDS,
+    stride=1,
 ):
     """Drive one system with a seeded random trace; return observables.
 
@@ -165,8 +167,8 @@ def _run_trace(
     for i in range(n):
         now += rng.randint(1, 50)
         ctx = rng.randint(0, contexts - 1) if contexts > 1 else 0
-        addr = rng.randint(0, pool - 1) << 6
-        kind = KINDS[rng.randint(0, len(KINDS) - 1)]
+        addr = (rng.randint(0, pool - 1) * stride) << 6
+        kind = kinds[rng.randint(0, len(kinds) - 1)]
         if batched:
             if pending and (pending_ctx != ctx or len(pending) >= limit):
                 flush_pending()
@@ -239,6 +241,66 @@ def test_batched_path_matches_scalar(scenario, seed):
     )
     obj_batched = _run_trace(
         make_config("object", seed), seed, contexts, switches, batched=True
+    )
+    assert batched[0] == scalar[0], f"{scenario}: batched results diverge"
+    assert batched[1] == scalar[1], f"{scenario}: batched stats diverge"
+    assert batched[2] == scalar[2], f"{scenario}: batched final state diverges"
+    assert obj_batched[0] == scalar[0], f"{scenario}: object batch diverges"
+    assert obj_batched[1] == scalar[1], f"{scenario}: object batch stats"
+    assert obj_batched[2] == scalar[2], f"{scenario}: object batch state"
+
+
+#: adversarial stream shapes for the vectorized miss-resolution kernels:
+#: every entry is deliberately dominated by the events the batched fast
+#: path used to fall back to scalar for (fills, evictions, stores) —
+#: name -> (config factory, contexts, switches, _run_trace overrides)
+STRESS_SCENARIOS = {
+    # pool far beyond LLC capacity: nearly every access misses and the
+    # fill/evict kernels run back to back through every level
+    "eviction_heavy": (_base, 1, True, {"pool": 1500}),
+    # every line lands in the same set (stride covers any power-of-two
+    # set count up to 64): chained same-set victim selection
+    "conflict_heavy": (_base, 1, False, {"pool": 48, "stride": 64}),
+    # mostly stores, two cores with switches: the batched store/dirty
+    # path plus store-probes on shared lines
+    "store_heavy": (
+        lambda e, s: scaled_experiment_config(num_cores=2, seed=s, engine=e),
+        2,
+        True,
+        {
+            "pool": 96,
+            "kinds": (
+                AccessKind.STORE,
+                AccessKind.STORE,
+                AccessKind.STORE,
+                AccessKind.LOAD,
+                AccessKind.IFETCH,
+            ),
+        },
+    ),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(STRESS_SCENARIOS))
+@pytest.mark.parametrize("seed", range(8))
+def test_kernel_stress_streams(scenario, seed):
+    """Eviction-heavy, conflict-heavy, and store-heavy streams hammer the
+    vectorized fill/evict/store kernels; the batched fast path must stay
+    bit-identical to the scalar loop and to the object engine."""
+    make_config, contexts, switches, kw = STRESS_SCENARIOS[scenario]
+    scalar = _run_trace(
+        make_config("fast", seed), seed, contexts, switches, **kw
+    )
+    batched = _run_trace(
+        make_config("fast", seed), seed, contexts, switches, batched=True, **kw
+    )
+    obj_batched = _run_trace(
+        make_config("object", seed),
+        seed,
+        contexts,
+        switches,
+        batched=True,
+        **kw,
     )
     assert batched[0] == scalar[0], f"{scenario}: batched results diverge"
     assert batched[1] == scalar[1], f"{scenario}: batched stats diverge"
