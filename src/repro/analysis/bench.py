@@ -416,6 +416,39 @@ def _timed_batches(make_system, addrs, load, repeats, warm_passes=0):
     return runs
 
 
+def _kernel_phase_extra(make_system, addrs, load, warm_passes=0):
+    """Per-phase time breakdown from one extra *untimed* instrumented pass.
+
+    Runs the same batch once more on a fresh system with a
+    :class:`~repro.obs.spans.PhaseAccumulator` attached, so the timed
+    runs above stay uninstrumented while the result still records where
+    the kernel spends its time.  Keys are flattened into ``extra`` as
+    ``phase_<name>_s`` / ``phase_share_<name>`` floats.
+    """
+    from repro.obs.spans import PhaseAccumulator
+
+    system = make_system()
+    for _ in range(warm_passes):
+        system.hierarchy.access_batch(0, addrs, load, now=0, advance=0)
+    acc = PhaseAccumulator()
+    system.hierarchy.kernel_profiler = acc
+    system.hierarchy.access_batch(0, addrs, load, now=0, advance=0)
+    system.hierarchy.kernel_profiler = None
+    summary = acc.summary()
+    extra: Dict[str, float] = {
+        "phase_total_s": summary["total_ns"] / 1e9,
+    }
+    for phase, ns in summary["phase_ns"].items():
+        extra[f"phase_{phase}_s"] = ns / 1e9
+    for phase, share in summary["phase_share"].items():
+        extra[f"phase_share_{phase}"] = round(share, 4)
+    for key in ("windows", "events", "cuts", "replans"):
+        extra[f"phase_{key}"] = float(summary[key])
+    if "plan_events_per_s" in summary:
+        extra["plan_events_per_s"] = summary["plan_events_per_s"]
+    return extra
+
+
 def bench_fill_kernel(quick: bool = False, engine: str = "object") -> BenchResult:
     """Batched miss + fill throughput: a cold sweep of distinct lines.
 
@@ -431,14 +464,12 @@ def bench_fill_kernel(quick: bool = False, engine: str = "object") -> BenchResul
         make_system, addrs, load, repeats=5 if quick else 9
     )
     median = statistics.median(runs)
-    return BenchResult(
-        name="fill_kernel",
-        runs=runs,
-        extra={
-            "events": float(events),
-            "events_per_s": events / median if median else 0.0,
-        },
-    )
+    extra = {
+        "events": float(events),
+        "events_per_s": events / median if median else 0.0,
+    }
+    extra.update(_kernel_phase_extra(make_system, addrs, load))
+    return BenchResult(name="fill_kernel", runs=runs, extra=extra)
 
 
 def bench_evict_kernel(quick: bool = False, engine: str = "object") -> BenchResult:
@@ -458,14 +489,12 @@ def bench_evict_kernel(quick: bool = False, engine: str = "object") -> BenchResu
         make_system, addrs, load, repeats=3 if quick else 5, warm_passes=1
     )
     median = statistics.median(runs)
-    return BenchResult(
-        name="evict_kernel",
-        runs=runs,
-        extra={
-            "events": float(events),
-            "events_per_s": events / median if median else 0.0,
-        },
-    )
+    extra = {
+        "events": float(events),
+        "events_per_s": events / median if median else 0.0,
+    }
+    extra.update(_kernel_phase_extra(make_system, addrs, load, warm_passes=1))
+    return BenchResult(name="evict_kernel", runs=runs, extra=extra)
 
 
 def bench_sbit_miss_kernel(
@@ -772,6 +801,19 @@ def render_results(results: Mapping[str, BenchResult]) -> str:
             f"{name:<18} median {result.median_s:.4f}s over "
             f"{len(result.runs)} run(s){extras}"
         )
+        if "phase_total_s" in result.extra:
+            from repro.obs.spans import KERNEL_PHASES
+
+            parts = []
+            for phase in KERNEL_PHASES:
+                share = result.extra.get(f"phase_share_{phase}", 0.0)
+                if share:
+                    parts.append(f"{phase} {share:.0%}")
+            if parts:
+                lines.append(
+                    f"  phases ({result.extra['phase_total_s']:.4f}s): "
+                    + "  ".join(parts)
+                )
         speedup = result.extra.get("batch_speedup")
         if speedup is not None and speedup < 1.0:
             lines.append(

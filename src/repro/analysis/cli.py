@@ -15,6 +15,8 @@ Usage (also available as ``python -m repro``):
     python -m repro tournament --quick     # attack leakage scorecard
     python -m repro trace                  # traced flush+reload + manifest
     python -m repro obs summarize T.jsonl  # inspect a trace stream
+    python -m repro obs top OBS_DIR        # live supervised-sweep view
+    python -m repro obs flame --obs-dir D  # folded kernel/span flamegraph
 
 Each command prints the artifact in the paper's layout; ``--instructions``
 scales simulation length (longer = tighter match, slower).  ``table2``,
@@ -130,6 +132,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
             quarantine_dir=_quarantine_dir_for(args.resume),
+            obs_dir=args.obs_dir,
         )
         status = _report_sweep_outcome(args.console, outcome)
         labels = [pair_label(a, b) for a, b in pairs]
@@ -194,6 +197,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
             quarantine_dir=_quarantine_dir_for(args.resume),
+            obs_dir=args.obs_dir,
         )
         status = _report_sweep_outcome(args.console, outcome)
         labels = [pair_label(a, b) for a, b in pairs]
@@ -225,6 +229,7 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
             quarantine_dir=_quarantine_dir_for(args.resume),
+            obs_dir=args.obs_dir,
         )
         status = _report_sweep_outcome(args.console, outcome)
         results = outcome.ordered_results(list(benchmarks))
@@ -292,6 +297,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
             quarantine_dir=_quarantine_dir_for(args.resume),
+            obs_dir=args.obs_dir,
         )
         status = _report_sweep_outcome(args.console, outcome)
         labels = [pair_label(a, b) for a, b in pairs]
@@ -433,6 +439,7 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
             n_boot=n_boot,
             checkpoint_path=args.resume,
             quarantine_dir=_quarantine_dir_for(args.resume) if args.resume else None,
+            obs_dir=args.obs_dir,
         )
     except ValueError as exc:  # unknown attack name
         console.error(str(exc))
@@ -536,13 +543,50 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs import read_events, write_chrome_trace
+    """Dispatch ``repro obs <subcommand>``."""
+    return {
+        "summarize": _cmd_obs_summarize,
+        "flame": _cmd_obs_flame,
+        "top": _cmd_obs_top,
+    }[args.obs_command](args)
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import read_events_tolerant, write_chrome_trace
 
     console = args.console
-    events = list(read_events(args.trace))
+    events, torn = read_events_tolerant(args.trace)
+    if torn:
+        console.error(
+            f"WARNING: skipped {torn} torn trailing line in {args.trace} "
+            f"(crash-truncated write)"
+        )
     if not events:
         console.error(f"no events in {args.trace}")
         return 1
+    # Drop detection from the tracer's monotone seq counter (one counter
+    # per tracer, shared across srcs): a first seq above zero means the
+    # head of the stream never reached the file (a RingBufferSink that
+    # overflowed and shed its oldest events); a seq range wider than the
+    # event count means mid-stream drops.  Duplicate seqs mean several
+    # tracers were merged into one file — gaps are unattributable then,
+    # so the analysis stands down rather than cry wolf.
+    seqs = sorted(event.seq for event in events)
+    dropped_total = 0
+    if len(set(seqs)) == len(seqs):
+        head = seqs[0]
+        gaps = (seqs[-1] - seqs[0] + 1) - len(seqs)
+        dropped_total = max(head, 0) + max(gaps, 0)
+        if head > 0:
+            console.error(
+                f"WARNING: first seq is {head} — {head} event(s) dropped "
+                f"before the stream start (ring-buffer overflow?)"
+            )
+        if gaps > 0:
+            console.error(
+                f"WARNING: {gaps} event(s) missing mid-stream "
+                f"(seq gaps — sink drops?)"
+            )
     by_kind = Counter(event.kind for event in events)
     t_lo = min(event.ts for event in events)
     t_hi = max(event.ts for event in events)
@@ -569,6 +613,91 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.perfetto:
         write_chrome_trace(events, args.perfetto)
         console.info(f"wrote {args.perfetto}")
+    return EXIT_PARTIAL if (torn or dropped_total) else 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    """Folded-stack flamegraph lines from a sweep's merged obs shards.
+
+    The output is the standard ``stack;path value`` format consumed by
+    flamegraph.pl / speedscope / inferno; values are span self-time in
+    microseconds, summed across every worker shard, with the kernel-phase
+    accumulators appearing under a synthetic ``kernel;<phase>`` root.
+    """
+    from repro.obs.shards import list_shards, merged_folded_stacks
+    from repro.obs.spans import folded_to_lines
+
+    console = args.console
+    if not list_shards(args.obs_dir):
+        console.error(f"no obs shards under {args.obs_dir}")
+        return EXIT_FATAL
+    folded = merged_folded_stacks(args.obs_dir)
+    if not folded:
+        console.error(f"shards under {args.obs_dir} carry no spans")
+        return EXIT_FATAL
+    text = "\n".join(folded_to_lines(folded))
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        console.info(f"wrote {args.out} ({len(folded)} stacks)")
+    else:
+        console.result(text)
+    return 0
+
+
+def _render_obs_top(console: Console, obs_dir: str) -> Optional[str]:
+    """One frame of the live sweep view; returns the heartbeat status
+    (None when no heartbeat has been written yet)."""
+    from repro.obs.shards import list_shards, load_shard, read_heartbeat
+
+    hb = read_heartbeat(obs_dir)
+    if hb is None:
+        console.result(f"no heartbeat under {obs_dir} (sweep not started?)")
+        return None
+    quarantined = hb.get("quarantined", 0)
+    if isinstance(quarantined, list):
+        quarantined = len(quarantined)
+    lines = [
+        f"sweep {hb.get('status', '?'):<8} "
+        f"done {hb.get('done', 0)}/{hb.get('total', 0)}  "
+        f"failed {hb.get('failed', 0)}  "
+        f"quarantined {quarantined}"
+    ]
+    for slot in hb.get("in_flight", []):
+        lines.append(
+            f"  RUN  {slot.get('label', '?'):<24} attempt "
+            f"{slot.get('attempt', 1)}  {slot.get('age_s', 0.0):6.1f}s  "
+            f"pid {slot.get('pid', '?')}"
+        )
+    for path in list_shards(obs_dir):
+        try:
+            shard = load_shard(path)
+        except Exception:
+            continue  # partially-written shard; next frame will see it
+        counts = shard.get("counters", {})
+        phases = shard.get("kernel_phases", {})
+        state = "ok" if shard.get("ok", True) else "FAILED"
+        lines.append(
+            f"  {state:<4} {shard.get('label', path.stem):<24} "
+            f"counters {len(counts)}  kernel windows "
+            f"{phases.get('windows', 0)}  attempt {shard.get('attempt', 1)}"
+        )
+    console.result("\n".join(lines))
+    return str(hb.get("status", ""))
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live console view of a supervised sweep from its heartbeat file
+    and whatever worker shards have landed so far."""
+    import time as _time
+
+    console = args.console
+    status = _render_obs_top(console, args.obs_dir)
+    if args.once:
+        return 0 if status is not None else EXIT_FATAL
+    while status != "done":
+        _time.sleep(args.interval)
+        console.result("")
+        status = _render_obs_top(console, args.obs_dir)
     return 0
 
 
@@ -642,6 +771,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "from) this JSON file; quarantined cells land in "
                 "CHECKPOINT.quarantine/ and the command exits 3",
             )
+            p.add_argument(
+                "--obs-dir",
+                metavar="DIR",
+                default=None,
+                help="with --resume and --jobs >= 2: write per-worker "
+                "obs shards, a heartbeat, and a merged Perfetto trace + "
+                "counters JSON under DIR (see 'repro obs top/flame')",
+            )
     compare = sub.add_parser(
         "compare",
         help="TimeCache vs partitioning on one pair",
@@ -661,6 +798,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run resiliently, checkpointing to (and resuming from) "
         "this JSON file",
+    )
+    export.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=None,
+        help="with --resume and --jobs >= 2: write obs shards and a "
+        "merged trace under DIR",
     )
     faults = sub.add_parser(
         "faults",
@@ -837,6 +981,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint scored cells to (and resume from) this JSON "
         "file; quarantined cells land in CHECKPOINT.quarantine/",
     )
+    tournament.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=None,
+        help="with --jobs >= 2: write per-worker obs shards and a merged "
+        "Perfetto trace + counters JSON under DIR",
+    )
     trace = sub.add_parser(
         "trace",
         help="traced flush+reload: trace.jsonl + Perfetto file + manifest",
@@ -884,6 +1035,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         default=None,
         help="also export a Chrome trace-event file",
+    )
+    flame = obs_sub.add_parser(
+        "flame",
+        help="folded flamegraph stacks from a sweep's merged obs shards",
+        parents=[quiet_parent],
+    )
+    flame.add_argument(
+        "--obs-dir",
+        required=True,
+        metavar="DIR",
+        help="the --obs-dir a supervised sweep wrote its shards to",
+    )
+    flame.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the folded stacks here instead of stdout "
+        "(feed to flamegraph.pl / speedscope / inferno)",
+    )
+    top = obs_sub.add_parser(
+        "top",
+        help="live view of a running supervised sweep (heartbeat + shards)",
+        parents=[quiet_parent],
+    )
+    top.add_argument(
+        "obs_dir", metavar="OBS_DIR",
+        help="the --obs-dir of the sweep to watch",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit instead of polling until done",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between frames (default 2)",
     )
     return parser
 

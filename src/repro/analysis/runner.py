@@ -246,6 +246,7 @@ def resilient_spec_pair_sweep(
     deadline_s: Optional[float] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
     manifest_id: str = "",
+    obs_dir: Optional[Union[str, Path]] = None,
 ) -> SweepOutcome:
     """:func:`spec_pair_sweep` under the resilient runner.
 
@@ -289,6 +290,7 @@ def resilient_spec_pair_sweep(
         base_seed=seed,
         quarantine_dir=quarantine_dir,
         manifest_id=manifest_id,
+        obs_dir=obs_dir,
     )
     return executor.run(_spec_pair_jobs(config, pairs, instructions, seed, budget))
 
@@ -307,6 +309,7 @@ def resilient_parsec_sweep(
     deadline_s: Optional[float] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
     manifest_id: str = "",
+    obs_dir: Optional[Union[str, Path]] = None,
 ) -> SweepOutcome:
     """:func:`parsec_sweep` under the resilient runner (see
     :func:`resilient_spec_pair_sweep` for the failure and supervision
@@ -342,6 +345,7 @@ def resilient_parsec_sweep(
         base_seed=seed,
         quarantine_dir=quarantine_dir,
         manifest_id=manifest_id,
+        obs_dir=obs_dir,
     )
     return executor.run(
         _parsec_jobs(config, benchmarks, instructions_per_thread, seed, budget)

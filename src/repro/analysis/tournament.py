@@ -438,6 +438,7 @@ def run_tournament(
     tracer=None,
     deadline_s: Optional[float] = 120.0,
     on_event: Optional[Callable[[str, str], None]] = None,
+    obs_dir: Optional[Union[str, Path]] = None,
 ) -> TournamentOutcome:
     """Run the cell matrix under the supervised executor.
 
@@ -473,6 +474,7 @@ def run_tournament(
         deadline_s=deadline_s,
         tracer=tracer,
         on_event=on_event,
+        obs_dir=obs_dir,
     )
     outcome = executor.run(sweep_jobs)
     labels = [job.label for job in sweep_jobs]

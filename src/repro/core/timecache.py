@@ -35,6 +35,7 @@ from repro.memsys.hierarchy import (
     KindsArg,
     MemoryHierarchy,
 )
+from repro.obs.spans import current_session
 
 
 class TimeCacheSystem:
@@ -76,6 +77,14 @@ class TimeCacheSystem:
         #: receives the computed :class:`SwitchCost`, so the event stream
         #: carries DMA/comparator cycles and the rollover flash-clear.
         self.obs_tracer = None
+        # Profiling sessions install process-globally (sweep jobs build
+        # their systems many layers below the code that turned profiling
+        # on); construction is the one moment both sides are in scope.
+        # Without a session this is one None check — the hot paths keep
+        # their ``kernel_profiler is None`` branch untouched.
+        _session = current_session()
+        if _session is not None:
+            _session.attach_system(self)
 
     # ------------------------------------------------------------------
     # Memory operations (thin passthroughs with the shared clock)

@@ -55,6 +55,8 @@ from typing import (
     Tuple,
 )
 
+from time import perf_counter_ns
+
 import numpy as np
 
 from repro.common.config import CacheConfig
@@ -719,6 +721,17 @@ class FastCache:
         bytes_needed = self.sbit_save_bytes()
         return (bytes_needed + transfer_bytes - 1) // transfer_bytes
 
+    def counters_into(self, registry, prefix=None, set_groups: int = 4) -> None:
+        """Engine-equivalent twin of :meth:`Cache.counters_into`: same
+        dotted tree from the same positional arrays."""
+        from repro.obs.counters import cache_sbit_census
+
+        name = prefix if prefix is not None else self.name
+        for key, value in self.stats.snapshot().items():
+            leaf = key.split(".", 1)[1] if "." in key else key
+            registry.slot(f"{name}.{leaf}").value += int(value)
+        cache_sbit_census(self, registry, f"{name}.", set_groups)
+
 
 class _FastHierarchyStats(StatGroup):
     """Hierarchy StatGroup whose ``accesses`` counter is derived on read.
@@ -1286,12 +1299,19 @@ class FastHierarchy(MemoryHierarchy):
         cursor = now
         i = 0
         check_deadline = self._check_batch_deadline
+        # On this prefix-retire path the phase profiler attributes the
+        # vectorized classify + prefix retirement to ``classify`` and the
+        # scalar runs to ``fallback`` — there is no plan/rehearse/apply
+        # machinery here to break down further.
+        prof = self.kernel_profiler
         while i < n:
             # Cooperative watchdog seam: one kernel step can be a whole
             # batched run, so the budget is re-checked between adaptive
             # windows (≤ _BATCH_WINDOW_MAX accesses apart), never
             # mid-window — state stays consistent at the raise point.
             check_deadline(i, n)
+            if prof is not None:
+                _t0 = perf_counter_ns()
             if stale:
                 if need_d:
                     d_etag = np.where(
@@ -1399,6 +1419,12 @@ class FastHierarchy(MemoryHierarchy):
                 if nows_np is None:
                     cursor = t_last + step
                 i += k
+            if prof is not None:
+                _t1 = perf_counter_ns()
+                prof.classify_ns += _t1 - _t0
+                prof.windows += 1
+                prof.batch_accesses += k
+                _t0 = _t1
             if k == m:
                 if window < self._BATCH_WINDOW_MAX:
                     window <<= 1
@@ -1406,6 +1432,7 @@ class FastHierarchy(MemoryHierarchy):
             if k < (m >> 1) and window > self._BATCH_WINDOW_MIN:
                 window >>= 1
             stop = min(i + scalar_run, n)
+            _ib = i
             if nows_np is not None:
                 while i < stop:
                     kind = uniform if kseq is None else kseq[i]
@@ -1422,6 +1449,10 @@ class FastHierarchy(MemoryHierarchy):
                     results.append(result)
                     cursor += advance + result.latency
                     i += 1
+            if prof is not None:
+                prof.fallback_ns += perf_counter_ns() - _t0
+                prof.cuts += 1
+                prof.scalar_accesses += i - _ib
             if tc_enabled:
                 stale = True
         final_now = int(nows_np[n - 1]) if nows_np is not None else cursor
@@ -1567,8 +1598,17 @@ class FastHierarchy(MemoryHierarchy):
         window = min(256, wmax)
         cursor = now
         i = 0
+        # Wall-clock phase profiler (repro.obs.spans.PhaseAccumulator).
+        # ``None`` is the common case and costs one load per window plus
+        # guarded branches at the phase boundaries; when installed, each
+        # boundary adds one perf_counter_ns call and an int add.  The
+        # replan loop can break out of the plan walk directly, so ``_reh``
+        # tracks whether the open segment is plan or rehearsal time.
+        prof = self.kernel_profiler
         while i < n:
             check_deadline(i, n)
+            if prof is not None:
+                _t0 = perf_counter_ns()
             if stale:
                 # a scalar run moved tags/s-bits under the etag mirrors
                 for kf in keys:
@@ -1611,6 +1651,10 @@ class FastHierarchy(MemoryHierarchy):
             if sst is not None and has_store:
                 simple &= ~sst
             nspec = m - int(np.count_nonzero(simple))
+            if prof is not None:
+                _tp = perf_counter_ns()
+                prof.classify_ns += _tp - _t0
+                prof.windows += 1
 
             if nspec == 0:
                 # whole window is simple hits: touch + count + results
@@ -1639,6 +1683,9 @@ class FastHierarchy(MemoryHierarchy):
                 t_last = int(times[m - 1])
                 if t_last > clock._now:
                     clock._now = t_last
+                if prof is not None:
+                    prof.apply_ns += perf_counter_ns() - _tp
+                    prof.batch_accesses += m
                 i = j
                 if m == window and window < wmax:
                     window <<= 1
@@ -1653,6 +1700,7 @@ class FastHierarchy(MemoryHierarchy):
             # rerun), falling back to a cut after a few rounds.
             stale_pos: set = set()
             replans = 0
+            _reh = False
             while True:
                 nsm = ~simple
                 ns_pos = np.nonzero(nsm)[0].tolist()
@@ -1988,6 +2036,13 @@ class FastHierarchy(MemoryHierarchy):
                         touch[f][ev[0]] = True
                         slots_c[f][ev[0]] = ev[5] * cinfo[f][2] + ev[6]
 
+                if prof is not None:
+                    _t1 = perf_counter_ns()
+                    prof.plan_ns += _t1 - _tp
+                    prof.events += len(events)
+                    _tp = _t1
+                    _reh = True
+
                 # ---- phase 3: victim rehearsal + stale-victim hazard -------
                 # Replay every fill of a cache, in order, against an overlay
                 # of its replacement stamps (touches scattered in for LRU,
@@ -2234,6 +2289,20 @@ class FastHierarchy(MemoryHierarchy):
                 simple[
                     np.array(stale_new + respec_new, dtype=np.int64)
                 ] = False
+                if prof is not None:
+                    _t1 = perf_counter_ns()
+                    prof.rehearse_ns += _t1 - _tp
+                    prof.replans += 1
+                    _tp = _t1
+                    _reh = False
+
+            if prof is not None:
+                _t1 = perf_counter_ns()
+                if _reh:
+                    prof.rehearse_ns += _t1 - _tp
+                else:
+                    prof.plan_ns += _t1 - _tp
+                _tp = _t1
 
             # ---- drop planned work past a shrunken cut -----------------
             C = cut
@@ -2494,6 +2563,14 @@ class FastHierarchy(MemoryHierarchy):
                     cursor += adv
                 i += C
 
+            if prof is not None:
+                _t1 = perf_counter_ns()
+                prof.apply_ns += _t1 - _tp
+                prof.batch_accesses += C
+                if C < m:
+                    prof.cuts += 1
+                _tp = _t1
+
             if C == m:
                 if m == window and window < wmax:
                     window <<= 1
@@ -2503,6 +2580,7 @@ class FastHierarchy(MemoryHierarchy):
             if hard or C == 0:
                 # the cut access is inherently scalar (or defensive
                 # progress): run a short scalar burst, then reclassify
+                _ib = i
                 run_end = i + self._BATCH_SCALAR_RUN
                 if run_end > n:
                     run_end = n
@@ -2522,6 +2600,9 @@ class FastHierarchy(MemoryHierarchy):
                         append(r)
                         cursor += advance + r.latency
                         i += 1
+                if prof is not None:
+                    prof.fallback_ns += perf_counter_ns() - _tp
+                    prof.scalar_accesses += i - _ib
                 if tc_enabled:
                     stale = True
         final_now = int(nows_np[n - 1]) if nows_np is not None else cursor

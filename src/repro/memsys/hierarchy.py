@@ -23,6 +23,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, replace
+from time import perf_counter_ns
 from typing import (
     Callable,
     Dict,
@@ -176,6 +177,12 @@ class MemoryHierarchy:
         self.post_access_listeners: List[
             Callable[[int, int, AccessKind, int, AccessResult], None]
         ] = []
+        #: optional :class:`repro.obs.spans.PhaseAccumulator` recording
+        #: where batched-access *wall-clock* goes.  ``None`` keeps every
+        #: batch path on its pre-existing ``is None`` branch; an
+        #: installed :class:`~repro.obs.spans.ObsSession` points this at
+        #: its accumulator when the owning system is constructed.
+        self.kernel_profiler = None
 
     def _make_cache(
         self,
@@ -385,6 +392,27 @@ class MemoryHierarchy:
         The fast engine overrides this with a vectorized implementation
         that the differential fuzz checks against this loop.
         """
+        prof = self.kernel_profiler
+        if prof is None:
+            return self._access_batch_scalar(ctx, addrs, kinds, now, advance, nows)
+        t0 = perf_counter_ns()
+        try:
+            return self._access_batch_scalar(ctx, addrs, kinds, now, advance, nows)
+        finally:
+            # On this path everything is scalar work — which, for the
+            # object engine, *is* the phase breakdown: 100% fallback.
+            prof.fallback_ns += perf_counter_ns() - t0
+            prof.scalar_accesses += len(addrs)
+
+    def _access_batch_scalar(
+        self,
+        ctx: int,
+        addrs: Sequence[int],
+        kinds: KindsArg,
+        now: int,
+        advance: int,
+        nows: Optional[Sequence[int]],
+    ) -> BatchResult:
         n = len(addrs)
         kseq = _kind_sequence(kinds, n)
         if advance < 0:

@@ -28,35 +28,63 @@ enabling tracing during benchmarks.
 """
 
 from repro.obs.console import Console
+from repro.obs.counters import (
+    CounterRegistry,
+    CounterSlot,
+    merge_counts,
+    registry_from_snapshot,
+    to_openmetrics,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     OBS_SCHEMA,
     TraceEvent,
     parse_event,
     read_events,
+    read_events_tolerant,
 )
 from repro.obs.manifest import RunManifest, config_fingerprint, load_manifest
 from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
 from repro.obs.sampler import MetricsSample, MetricsSampler
 from repro.obs.sinks import JsonlSink, RingBufferSink, TeeSink
+from repro.obs.spans import (
+    ObsSession,
+    PhaseAccumulator,
+    SpanProfiler,
+    current_session,
+    install_session,
+    session_scope,
+)
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "Console",
+    "CounterRegistry",
+    "CounterSlot",
     "EVENT_KINDS",
     "JsonlSink",
     "MetricsSample",
     "MetricsSampler",
     "OBS_SCHEMA",
+    "ObsSession",
+    "PhaseAccumulator",
     "RingBufferSink",
     "RunManifest",
+    "SpanProfiler",
     "TeeSink",
     "TraceEvent",
     "Tracer",
     "config_fingerprint",
+    "current_session",
+    "install_session",
     "load_manifest",
+    "merge_counts",
     "parse_event",
     "read_events",
+    "read_events_tolerant",
+    "registry_from_snapshot",
+    "session_scope",
     "to_chrome_trace",
+    "to_openmetrics",
     "write_chrome_trace",
 ]

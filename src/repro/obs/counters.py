@@ -1,0 +1,249 @@
+"""Hierarchical counters: cheap int slots under dotted names.
+
+The engines already keep their authoritative statistics in
+``StatGroup`` / bare-int slots (``docs/internals.md`` §10); what was
+missing is a *registry* that (a) hands out increment handles cheap
+enough for instrumented hot paths, (b) snapshots and diffs whole
+counter trees, and (c) renders them in a format dashboards already
+speak.  This module adds exactly that:
+
+* :class:`CounterSlot`  — a mutable int cell.  Hot code holds the slot
+  and does ``slot.value += n``; no dict lookup, no method call.
+* :class:`CounterRegistry` — dotted-name tree of slots
+  (``l1.set_group.0.sbit_miss``, ``kernel.plan.events``) with
+  ``snapshot()`` / ``diff()`` / prefix ``rollup()`` and OpenMetrics
+  text export (:func:`to_openmetrics`).
+* :func:`registry_from_snapshot` — the engine-equivalent view: both
+  engines produce the same ``TimeCacheSystem.stats_snapshot()`` keys
+  (the differential fuzz locks that in), so loading a snapshot yields
+  a registry whose tree is identical for ``engine="object"`` and
+  ``engine="fast"``.
+
+Snapshots are plain ``{dotted_name: int}`` dicts — JSON-safe, mergeable
+by summation, and the unit the cross-process shard merge
+(:mod:`repro.obs.shards`) sums over.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "CounterRegistry",
+    "CounterSlot",
+    "cache_sbit_census",
+    "merge_counts",
+    "registry_from_snapshot",
+    "to_openmetrics",
+]
+
+
+class CounterSlot:
+    """One named counter cell.
+
+    Instrumented code keeps a reference and bumps ``value`` directly;
+    the registry only intervenes at snapshot time.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def bump(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterSlot({self.name!r}, {self.value})"
+
+
+class CounterRegistry:
+    """A flat dict of :class:`CounterSlot` keyed by dotted name.
+
+    The dots are a *naming convention*, not nested objects: lookup
+    stays one dict hit and iteration order is insertion order, which
+    keeps snapshots deterministic for a deterministic program.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[str, CounterSlot] = {}
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+    def slot(self, name: str) -> CounterSlot:
+        """Get-or-create the slot for ``name``."""
+        found = self._slots.get(name)
+        if found is None:
+            found = CounterSlot(name)
+            self._slots[name] = found
+        return found
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Convenience increment for non-hot-path call sites."""
+        self.slot(name).value += n
+
+    def load(self, counts: Mapping[str, int]) -> "CounterRegistry":
+        """Add ``counts`` into the registry (summing with existing)."""
+        for name, value in counts.items():
+            self.slot(name).value += int(value)
+        return self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        for name, slot in self._slots.items():
+            yield name, slot.value
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Current values as a plain dict (sorted keys, JSON-safe)."""
+        return {name: self._slots[name].value for name in sorted(self._slots)}
+
+    def diff(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Deltas since ``before`` (a prior :meth:`snapshot`).
+
+        Counters absent from ``before`` count from zero; counters that
+        did not move are omitted so span payloads stay small.
+        """
+        out: Dict[str, int] = {}
+        for name in sorted(self._slots):
+            delta = self._slots[name].value - int(before.get(name, 0))
+            if delta:
+                out[name] = delta
+        return out
+
+    def rollup(self, depth: int = 1) -> Dict[str, int]:
+        """Sum leaves under each dotted prefix of length ``depth``.
+
+        ``rollup(1)`` of ``{"l1.fills": 3, "l1.misses": 2, "llc.fills": 1}``
+        is ``{"l1": 5, "llc": 1}``.
+        """
+        if depth < 1:
+            raise ValueError(f"rollup depth must be >= 1: {depth}")
+        out: Dict[str, int] = {}
+        for name, slot in self._slots.items():
+            prefix = ".".join(name.split(".")[:depth])
+            out[prefix] = out.get(prefix, 0) + slot.value
+        return dict(sorted(out.items()))
+
+
+# ----------------------------------------------------------------------
+# Engine-equivalent view
+# ----------------------------------------------------------------------
+def registry_from_snapshot(
+    snapshot: Mapping[str, object], prefix: str = ""
+) -> CounterRegistry:
+    """Build a registry from ``TimeCacheSystem.stats_snapshot()``.
+
+    ``stats_snapshot`` is the engine-equivalence surface: the object
+    model and the fast engine produce identical key/value trees for the
+    same run, so this view is *the* counter tree both engines share.
+    Non-integer entries (derived floats like rates) are skipped —
+    counters are monotone ints by contract.
+    """
+    registry = CounterRegistry()
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        name = f"{prefix}{key}" if prefix else key
+        registry.slot(name).value = value
+    return registry
+
+
+def cache_sbit_census(
+    cache, registry: CounterRegistry, prefix: str, set_groups: int = 4
+) -> None:
+    """Fold a per-set-group s-bit/occupancy census into ``registry``.
+
+    Duck-typed over both engines: the object :class:`~repro.memsys.cache.Cache`
+    and the struct-of-arrays ``FastCache`` share the positional ``sbits``
+    bitmask and ``valid`` arrays plus ``contexts()``/``ctx_column()``, so
+    the resulting ``<prefix>set_group.<g>.*`` tree is engine-equivalent.
+    This is a snapshot, not hot-path instrumentation — it walks the
+    arrays once, at absorb time.
+    """
+    import numpy as np
+
+    sbits = cache.sbits
+    per_set = np.zeros(cache.num_sets, dtype=np.int64)
+    for ctx in cache.contexts:
+        col = np.int64(cache.ctx_column(ctx))
+        per_set += ((sbits >> col) & 1).sum(axis=1)
+    valid_per_set = cache.valid.sum(axis=1)
+    groups = max(1, min(int(set_groups), cache.num_sets))
+    bounds = [round(g * cache.num_sets / groups) for g in range(groups + 1)]
+    for g in range(groups):
+        lo, hi = bounds[g], bounds[g + 1]
+        registry.slot(f"{prefix}set_group.{g}.sbits_set").value += int(
+            per_set[lo:hi].sum()
+        )
+        registry.slot(f"{prefix}set_group.{g}.valid_lines").value += int(
+            valid_per_set[lo:hi].sum()
+        )
+
+
+def merge_counts(*counts: Mapping[str, int]) -> Dict[str, int]:
+    """Sum several count dicts key-wise (the shard-merge primitive)."""
+    out: Dict[str, int] = {}
+    for mapping in counts:
+        for name, value in mapping.items():
+            out[name] = out.get(name, 0) + int(value)
+    return dict(sorted(out.items()))
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics export
+# ----------------------------------------------------------------------
+_METRIC_SAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(dotted: str) -> str:
+    """Map a dotted counter name onto the OpenMetrics grammar.
+
+    Dots become underscores; any remaining illegal character does too.
+    A leading digit gets an underscore prefix so ``0.sbit_miss`` style
+    set-group names stay legal.
+    """
+    name = _METRIC_SAFE.sub("_", dotted.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def to_openmetrics(
+    counts: Mapping[str, int],
+    namespace: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render counts as OpenMetrics / Prometheus text exposition.
+
+    Counter semantics only (monotone totals); the caller supplies any
+    constant labels (e.g. ``{"engine": "fast", "job": "spec_pair"}``).
+    The output ends with the OpenMetrics ``# EOF`` marker so it parses
+    as a complete exposition.
+    """
+    label_str = ""
+    if labels:
+        parts = []
+        for key in sorted(labels):
+            value = str(labels[key]).replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'{key}="{value}"')
+        label_str = "{" + ",".join(parts) + "}"
+    lines = []
+    for dotted in sorted(counts):
+        metric = f"{namespace}_{_metric_name(dotted)}" if namespace else _metric_name(dotted)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"# HELP {metric} repro counter {dotted}")
+        lines.append(f"{metric}_total{label_str} {int(counts[dotted])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 OBS_SCHEMA = 1
 
@@ -118,3 +118,38 @@ def read_events(path: Union[str, Path]) -> Iterator[TraceEvent]:
             line = line.strip()
             if line:
                 yield parse_event(line)
+
+
+def read_events_tolerant(
+    path: Union[str, Path],
+) -> Tuple[List[TraceEvent], int]:
+    """Read a JSONL trace, skipping a torn *final* line.
+
+    A process killed mid-``write`` (chaos kill, OOM, power loss) leaves
+    at most one partial line at the end of the file — every earlier line
+    was completed before the torn one started.  A torn final line is
+    therefore skipped and *counted*; a malformed line anywhere else is
+    real corruption and still raises.
+
+    Returns ``(events, skipped)`` where ``skipped`` is 0 or 1.
+    """
+    events: List[TraceEvent] = []
+    bad: Optional[str] = None
+    with open(path) as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if bad is not None:
+                # The malformed line was not the final one: not a torn
+                # tail but mid-file corruption.
+                raise json.JSONDecodeError(
+                    f"malformed trace line is not the final line of {path}",
+                    bad,
+                    0,
+                )
+            try:
+                events.append(parse_event(stripped))
+            except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+                bad = stripped
+    return events, (1 if bad is not None else 0)

@@ -11,6 +11,7 @@ A sink is anything with ``emit(event)`` and ``close()``.  The built-ins:
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from pathlib import Path
 from typing import Deque, List, Protocol, Sequence, Union
@@ -48,6 +49,15 @@ class JsonlSink:
 
     def close(self) -> None:
         if not self._handle.closed:
+            # Flush + fsync before closing: a crash *after* close() must
+            # not lose whole buffered pages of trace — at worst the final
+            # line is torn mid-write, which readers skip with a counted
+            # warning (see events.read_events_tolerant).
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:  # pragma: no cover - e.g. fsync-less targets
+                pass
             self._handle.close()
 
     def __enter__(self) -> "JsonlSink":

@@ -94,12 +94,25 @@ def load_quarantine_record(path: Union[str, Path]) -> FailureRecord:
     return FailureRecord.from_dict(payload)
 
 
+def _write_shard_quiet(session, obs_dir, attempt: int, ok: bool) -> None:
+    """Persist a worker's obs shard; observability must never fail a
+    job that itself succeeded, so errors are swallowed."""
+    try:
+        from repro.obs.shards import write_shard
+
+        write_shard(session, obs_dir, attempt=attempt, ok=ok)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
 def _supervised_worker(
     job: SweepJob,
     child_seed: int,
     conn,
     beat,
     sabotage: Sabotage,
+    attempt: int = 1,
+    obs_dir=None,
 ) -> None:
     """Worker-process body: one job attempt, result down the pipe.
 
@@ -108,6 +121,14 @@ def _supervised_worker(
     cell is stamped when work starts; a cooperative job may keep
     stamping it via ``repro_heartbeat`` in its kwargs, but the default
     contract is simply "finish within the deadline".
+
+    With ``obs_dir`` set, the attempt runs under an installed
+    :class:`~repro.obs.spans.ObsSession`: systems the job constructs
+    report kernel phases into it, the attempt runs inside a
+    ``job:<label>`` span, and the session lands as a crash-safe shard
+    (:mod:`repro.obs.shards`) whether the job succeeds or raises — a
+    killed/hung worker simply leaves no shard, which the merge treats
+    as "nothing recorded", not an error.
     """
     import random
 
@@ -131,13 +152,27 @@ def _supervised_worker(
             # the pipe (models OOM-kill / segfault / power loss).
             conn.close()
             os._exit(int(param))
+    session = None
+    if obs_dir is not None:
+        from repro.obs.spans import ObsSession, install_session
+
+        session = ObsSession(label=job.label)
+        session.meta["attempt"] = attempt
+        session.meta["provenance"] = dict(job.provenance)
+        install_session(session)
     try:
         if sabotage is not None and sabotage[0] == "raise":
             from repro.common.errors import FaultInjectionError
 
             raise FaultInjectionError(str(sabotage[1]))
-        result = job.run()
+        if session is not None:
+            with session.span(f"job:{job.label}", "sweep"):
+                result = job.run()
+        else:
+            result = job.run()
     except BaseException as exc:  # noqa: BLE001 - flattened for the pipe
+        if session is not None:
+            _write_shard_quiet(session, obs_dir, attempt, ok=False)
         conn.send(
             _Attempt(
                 label=job.label,
@@ -151,6 +186,8 @@ def _supervised_worker(
         )
         conn.close()
         return
+    if session is not None:
+        _write_shard_quiet(session, obs_dir, attempt, ok=True)
     conn.send(
         _Attempt(
             label=job.label,
@@ -224,6 +261,7 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
         quarantine_dir: Optional[Union[str, Path]] = None,
         manifest_id: str = "",
         sabotage_for: Optional[Callable[[str, int], Sabotage]] = None,
+        obs_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         super().__init__(
             jobs,
@@ -241,6 +279,12 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
         )
         self.manifest_id = manifest_id
         self.sabotage_for = sabotage_for
+        #: telemetry directory (repro.obs.shards): workers write span/
+        #: counter shards here, the poll loop drops heartbeats for
+        #: ``repro obs top``, and the merged Perfetto trace + aggregate
+        #: counters are written when the sweep finishes.  ``None`` (the
+        #: default) records nothing.
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
         self.report = SupervisionReport()
 
     # ------------------------------------------------------------------
@@ -264,6 +308,35 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
         finished: Dict[str, _Attempt] = {}
         failed_attempts: Dict[str, _Attempt] = {}
         backoff_until: Dict[str, float] = {}
+        # Supervisor-side trace slices (wall-clock ns): one per attempt
+        # window, merged as the pid-1 track of the combined trace.
+        sup_spans: List[Dict] = []
+        launch_wall: Dict[str, int] = {}
+        hb_next = 0.0
+
+        def write_heartbeat(status: str) -> None:
+            if self.obs_dir is None:
+                return
+            from repro.obs import shards as obs_shards
+
+            now_mono = time.monotonic()
+            obs_shards.write_heartbeat(
+                self.obs_dir,
+                status=status,
+                done=self._completed,
+                total=self._total,
+                failed=self._failed,
+                in_flight=[
+                    {
+                        "label": slot.job.label,
+                        "attempt": slot.attempt,
+                        "age_s": round(now_mono - slot.started, 3),
+                        "pid": slot.process.pid,
+                    }
+                    for slot in slots
+                ],
+                quarantined=self.report.quarantined,
+            )
 
         def launch(job: SweepJob, attempt: int) -> None:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -273,6 +346,7 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
                 if self.sabotage_for is not None
                 else None
             )
+            launch_wall[job.label] = time.time_ns()
             proc = ctx.Process(
                 target=_supervised_worker,
                 args=(
@@ -281,6 +355,8 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
                     child_conn,
                     beat,
                     sabotage,
+                    attempt,
+                    str(self.obs_dir) if self.obs_dir is not None else None,
                 ),
                 daemon=True,
             )
@@ -300,6 +376,22 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
         def settle(slot: _Slot, attempt: _Attempt) -> None:
             """A slot produced a terminal attempt outcome."""
             label = slot.job.label
+            if self.obs_dir is not None:
+                start_ns = launch_wall.get(label, time.time_ns())
+                sup_spans.append(
+                    {
+                        "name": f"job:{label}",
+                        "cat": "sweep",
+                        "ts": start_ns,
+                        "dur_ns": time.time_ns() - start_ns,
+                        "args": {
+                            "attempt": slot.attempt,
+                            "status": "ok"
+                            if attempt.ok
+                            else attempt.error_type or "failed",
+                        },
+                    }
+                )
             if attempt.ok:
                 finished[label] = attempt
                 if checkpoint is not None:
@@ -403,8 +495,14 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
             return None
 
         try:
+            write_heartbeat("running")
             while pending or slots:
                 now = time.monotonic()
+                if self.obs_dir is not None and now >= hb_next:
+                    # Throttled: the heartbeat file is for human-cadence
+                    # consumers (repro obs top), not the poll loop.
+                    write_heartbeat("running")
+                    hb_next = now + max(self.poll_s, 0.5)
                 while pending and len(slots) < self.jobs:
                     job, attempt = pending[0]
                     wait = backoff_until.get(job.label, 0.0)
@@ -437,6 +535,15 @@ class SupervisedSweepExecutor(ParallelSweepExecutor):
             for slot in slots:  # pragma: no cover - only on raise/interrupt
                 slot.process.kill()
                 slot.process.join()
+
+        if self.obs_dir is not None:
+            write_heartbeat("done")
+            try:
+                from repro.obs.shards import write_merged
+
+                write_merged(self.obs_dir, sup_spans)
+            except Exception:  # pragma: no cover - obs must not fail a sweep
+                pass
 
         # Ordered reassembly: submission order, like the base executor.
         outcome = SweepOutcome()

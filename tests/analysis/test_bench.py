@@ -164,6 +164,43 @@ class TestKernelArms:
         assert result.extra["events"] > 0
         assert result.extra["events_per_s"] > 0
 
+    @pytest.mark.parametrize("engine", ["object", "fast"])
+    def test_fill_kernel_records_phase_breakdown(self, engine):
+        results = run_benchmarks(names=["fill_kernel"], quick=True, engine=engine)
+        result = next(iter(results.values()))
+        assert result.extra["phase_total_s"] > 0
+        shares = [
+            result.extra[f"phase_share_{p}"]
+            for p in ("classify", "plan", "rehearse", "apply", "fallback")
+        ]
+        assert sum(shares) == pytest.approx(1.0, abs=0.01)
+        if engine == "fast":
+            assert result.extra["phase_windows"] > 0
+            # the kernel retires the batch; phase time lives in the pipeline
+            assert result.extra["phase_share_fallback"] < 0.5
+        else:
+            # the object engine's scalar loop is all fallback, by design
+            assert result.extra["phase_share_fallback"] == pytest.approx(1.0)
+
+    def test_render_shows_phase_breakdown(self):
+        from repro.analysis.bench import render_results
+
+        result = BenchResult(
+            "fill_kernel",
+            runs=[0.5],
+            extra={
+                "events": 100.0,
+                "events_per_s": 200.0,
+                "phase_total_s": 0.4,
+                "phase_share_plan": 0.25,
+                "phase_share_apply": 0.75,
+            },
+        )
+        out = render_results({"fill_kernel": result})
+        assert "phases (0.4000s)" in out
+        assert "plan 25%" in out
+        assert "apply 75%" in out
+
     def test_kernel_arms_are_engine_aware(self):
         results = run_benchmarks(
             names=["sbit_miss_kernel"], quick=True, engine="fast"

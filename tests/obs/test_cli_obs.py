@@ -82,6 +82,89 @@ def test_obs_summarize_empty_trace_fails(tmp_path, capsys):
     assert "no events" in captured.err
 
 
+def _write_lines(path, events, torn_tail=False):
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(event.to_json_line() + "\n")
+        if torn_tail:
+            handle.write('{"kind":"cache.evict","ts":99')
+
+
+def test_obs_summarize_warns_on_torn_tail_and_drops(tmp_path, capsys):
+    from repro.obs import TraceEvent
+
+    path = tmp_path / "dropped.jsonl"
+    # seqs start at 3 (ring dropped the head) and skip 6 (mid-stream gap)
+    events = [
+        TraceEvent(kind="cache.fill", ts=i, seq=s)
+        for i, s in enumerate([3, 4, 5, 7])
+    ]
+    _write_lines(path, events, torn_tail=True)
+    rc = main(["obs", "summarize", str(path)])
+    captured = capsys.readouterr()
+    assert rc == 3  # partial: the trace is usable but incomplete
+    assert "WARNING" in captured.err
+    assert "torn trailing line" in captured.err
+    assert "3 event(s) dropped before the stream start" in captured.err
+    assert "1 event(s) missing mid-stream" in captured.err
+    assert "4 events" in captured.out  # the summary still renders
+
+
+def test_obs_summarize_clean_trace_stays_quiet(trace_dir, capsys):
+    rc = main(["obs", "summarize", str(trace_dir / "trace.jsonl")])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "WARNING" not in captured.err
+
+
+@pytest.fixture(scope="module")
+def obs_sweep_dir(tmp_path_factory):
+    from tests.obs.test_shards import _jobs
+    from repro.robustness.supervisor import SupervisedSweepExecutor
+
+    obs_dir = tmp_path_factory.mktemp("cli_obs") / "obs"
+    outcome = SupervisedSweepExecutor(2, retries=0, obs_dir=obs_dir).run(_jobs())
+    assert not outcome.failures
+    return obs_dir
+
+
+def test_obs_flame_prints_folded_stacks(obs_sweep_dir, capsys):
+    rc = main(["obs", "flame", "--obs-dir", str(obs_sweep_dir)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "job:alpha" in captured.out
+    assert "kernel;" in captured.out
+
+
+def test_obs_flame_writes_file(obs_sweep_dir, tmp_path, capsys):
+    out = tmp_path / "folded.txt"
+    rc = main(["obs", "flame", "--obs-dir", str(obs_sweep_dir), "--out", str(out)])
+    assert rc == 0
+    lines = out.read_text().splitlines()
+    assert lines and all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+
+def test_obs_flame_empty_dir_is_fatal(tmp_path, capsys):
+    rc = main(["obs", "flame", "--obs-dir", str(tmp_path)])
+    assert rc == 1
+    assert "no obs shards" in capsys.readouterr().err
+
+
+def test_obs_top_once_renders_heartbeat_and_shards(obs_sweep_dir, capsys):
+    rc = main(["obs", "top", str(obs_sweep_dir), "--once"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "sweep done" in captured.out
+    assert "3/3" in captured.out
+    assert "alpha" in captured.out
+
+
+def test_obs_top_once_without_heartbeat(tmp_path, capsys):
+    rc = main(["obs", "top", str(tmp_path), "--once"])
+    assert rc == 1
+    assert "no heartbeat" in capsys.readouterr().out
+
+
 def test_quiet_suppresses_progress_not_artifacts(tmp_path, capsys):
     out = tmp_path / "quiet_trace"
     rc = main(

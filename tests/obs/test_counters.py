@@ -1,0 +1,101 @@
+"""Hierarchical counter registry: slots, snapshots, merges, OpenMetrics."""
+
+import pytest
+
+from repro.obs import (
+    CounterRegistry,
+    merge_counts,
+    registry_from_snapshot,
+    to_openmetrics,
+)
+
+
+def test_slot_is_get_or_create_and_bumps():
+    reg = CounterRegistry()
+    slot = reg.slot("l1.set_group.0.sbit_miss")
+    assert slot.value == 0
+    slot.bump()
+    slot.bump(3)
+    assert reg.slot("l1.set_group.0.sbit_miss") is slot  # same object
+    assert slot.value == 4
+    assert len(reg) == 1
+    assert "l1.set_group.0.sbit_miss" in reg
+
+
+def test_bump_and_load_shorthand():
+    reg = CounterRegistry()
+    reg.bump("kernel.plan.events", 5)
+    reg.bump("kernel.plan.events")
+    reg.load({"kernel.windows": 2, "kernel.plan.events": 1})
+    assert reg.snapshot() == {"kernel.plan.events": 7, "kernel.windows": 2}
+
+
+def test_snapshot_is_sorted_and_detached():
+    reg = CounterRegistry()
+    reg.bump("b.two")
+    reg.bump("a.one")
+    snap = reg.snapshot()
+    assert list(snap) == ["a.one", "b.two"]
+    reg.bump("a.one")  # mutating the registry must not touch the snapshot
+    assert snap["a.one"] == 1
+
+
+def test_diff_reports_only_changed_counters():
+    reg = CounterRegistry()
+    reg.bump("x", 2)
+    reg.bump("y", 1)
+    before = reg.snapshot()
+    reg.bump("x", 3)
+    reg.bump("z")
+    delta = reg.diff(before)
+    assert delta == {"x": 3, "z": 1}  # y unchanged -> omitted
+
+
+def test_rollup_sums_by_prefix():
+    reg = CounterRegistry()
+    reg.bump("l1.0.miss", 2)
+    reg.bump("l1.1.miss", 3)
+    reg.bump("llc.0.miss", 5)
+    assert reg.rollup(1) == {"l1": 5, "llc": 5}
+
+
+def test_rollup_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        CounterRegistry().rollup(0)
+
+
+def test_registry_from_snapshot_skips_non_ints():
+    reg = registry_from_snapshot(
+        {"a": 2, "flag": True, "ratio": 0.5, "name": "x"}, prefix="sim."
+    )
+    assert reg.snapshot() == {"sim.a": 2}
+
+
+def test_merge_counts_sums_keywise_sorted():
+    merged = merge_counts({"b": 1, "a": 2}, {"a": 3, "c": 4})
+    assert merged == {"a": 5, "b": 1, "c": 4}
+    assert list(merged) == ["a", "b", "c"]
+
+
+def test_openmetrics_export_shape():
+    text = to_openmetrics(
+        {"kernel.plan.events": 7, "3weird-name": 1},
+        namespace="repro",
+        labels={"engine": "fast"},
+    )
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    assert any(line.startswith("# TYPE repro_") for line in lines)
+    assert 'engine="fast"' in text
+    assert "repro_kernel_plan_events_total" in text
+    # a metric name must not start with a digit
+    for line in lines:
+        if line.startswith("repro_"):
+            continue
+        if not line.startswith("#"):
+            assert not line[0].isdigit()
+
+
+def test_openmetrics_without_labels():
+    text = to_openmetrics({"a.b": 1})
+    assert "repro_a_b_total 1" in text

@@ -55,3 +55,38 @@ def test_event_kinds_are_namespaced():
 def test_parse_rejects_garbage():
     with pytest.raises(json.JSONDecodeError):
         parse_event("not json")
+
+
+def test_tolerant_read_skips_torn_final_line(tmp_path):
+    from repro.obs import read_events_tolerant
+
+    path = tmp_path / "torn.jsonl"
+    good = [TraceEvent(kind="cache.fill", ts=i, seq=i) for i in range(3)]
+    with open(path, "w") as handle:
+        for event in good:
+            handle.write(event.to_json_line() + "\n")
+        handle.write('{"kind":"cache.evict","ts":9')  # killed mid-write
+    events, skipped = read_events_tolerant(path)
+    assert events == good
+    assert skipped == 1
+
+
+def test_tolerant_read_clean_file_skips_nothing(tmp_path):
+    from repro.obs import read_events_tolerant
+
+    path = tmp_path / "clean.jsonl"
+    good = [TraceEvent(kind="cache.fill", ts=i, seq=i) for i in range(2)]
+    path.write_text("".join(e.to_json_line() + "\n" for e in good))
+    assert read_events_tolerant(path) == (good, 0)
+
+
+def test_tolerant_read_raises_on_mid_file_corruption(tmp_path):
+    """Only a *final* torn line is survivable; corruption followed by
+    more data is a broken file, not a crash artifact."""
+    from repro.obs import read_events_tolerant
+
+    path = tmp_path / "corrupt.jsonl"
+    good = TraceEvent(kind="cache.fill", ts=0).to_json_line()
+    path.write_text('{"kind": bad\n' + good + "\n")
+    with pytest.raises(json.JSONDecodeError):
+        read_events_tolerant(path)

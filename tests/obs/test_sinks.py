@@ -42,6 +42,22 @@ def test_ring_buffer_rejects_bad_capacity():
         RingBufferSink(capacity=0)
 
 
+def test_jsonl_close_flushes_and_fsyncs(tmp_path, monkeypatch):
+    """close() must push buffered lines to durable storage: a crash right
+    after close can't lose events (the crash-tolerant read contract)."""
+    import os
+
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+    sink = JsonlSink(tmp_path / "t.jsonl")
+    for event in _events(3):
+        sink.emit(event)
+    sink.close()
+    assert synced, "close() did not fsync"
+    assert len(list(read_events(tmp_path / "t.jsonl"))) == 3
+
+
 def test_tee_duplicates_to_every_sink(tmp_path):
     ring_a, ring_b = RingBufferSink(), RingBufferSink()
     jsonl = JsonlSink(tmp_path / "t.jsonl")
