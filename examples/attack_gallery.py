@@ -58,12 +58,15 @@ def main() -> None:
 
     base = run_microbenchmark_attack(cfg1.baseline(), shared_lines=128)
     tc = run_microbenchmark_attack(cfg1, shared_lines=128)
-    row("flush+reload", base.leaked, tc.leaked)
+    row("flush+reload", base.verdict(), tc.verdict())
 
     smt = smt_config()
     base = run_smt_flush_reload(smt.baseline())
     tc = run_smt_flush_reload(smt)
-    row("flush+reload (SMT)", base.leaked, tc.leaked, "(sibling hyperthread)")
+    row(
+        "flush+reload (SMT)", base.verdict(), tc.verdict(),
+        "(sibling hyperthread)",
+    )
 
     base = run_spectre_covert_channel(cfg2.baseline(), secret=0x5A)
     tc = run_spectre_covert_channel(cfg2, secret=0x5A)
@@ -76,7 +79,7 @@ def main() -> None:
 
     base = run_evict_reload(cfg1.baseline(), rounds=4)
     tc = run_evict_reload(cfg1, rounds=4)
-    row("evict+reload", base.leaked, tc.leaked)
+    row("evict+reload", base.verdict(), tc.verdict())
 
     from repro.attacks import run_keystroke_attack
 
@@ -91,13 +94,13 @@ def main() -> None:
 
     base = run_invalidate_transfer(cfg2.baseline(), victim_touches=True)
     tc = run_invalidate_transfer(cfg2, victim_touches=True)
-    row("invalidate+transfer", base.leaked, tc.leaked)
+    row("invalidate+transfer", base.verdict(), tc.verdict())
 
     base = run_invalidate_transfer(
         cfg2.baseline(), victim_touches=True, victim_writes=True
     )
     tc = run_invalidate_transfer(cfg2, victim_touches=True, victim_writes=True)
-    row("coherence E-vs-S", base.leaked, tc.leaked)
+    row("coherence E-vs-S", base.verdict(), tc.verdict())
 
     base = run_flush_flush(cfg1.baseline(), victim_touches=True)
     plain = run_flush_flush(cfg1, victim_touches=True)
@@ -107,8 +110,8 @@ def main() -> None:
     ct_blocked = set(fixed_active.latencies) == set(fixed_idle.latencies)
     row(
         "flush+flush",
-        base.leaked,
-        plain.leaked and not ct_blocked,
+        base.verdict(),
+        plain.verdict() and not ct_blocked,
         "(needs constant-time clflush, Section VII-C)",
     )
 
@@ -125,8 +128,8 @@ def main() -> None:
     tc_active = run_lru_attack(cfg1, victim_touches=True)
     row(
         "LRU attack",
-        base_active.leaked,
-        tc_active.leaked,
+        base_active.verdict(),
+        tc_active.verdict(),
         "(eviction-set attack: out of scope, Section VII-A)",
     )
 

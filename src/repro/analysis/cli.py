@@ -415,8 +415,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_tournament(args: argparse.Namespace) -> int:
-    """Attack tournament: every attack × {timecache, baseline} × engine,
-    scored as a statistical distinguishability game (AUC/CI/MI), written
+    """Attack tournament: every attack × every registered defense ×
+    engine, scored as a statistical distinguishability game
+    (AUC/CI/MI), written
     to a SECURITY.json scorecard.  ``--baseline`` gates enforcing-ly:
     unlike the perf gate, leakage scores are simulated-deterministic, so
     any drift is a code change.  Exit contract: 1 on gate failure or
@@ -453,6 +454,7 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
         "seeds": list(seeds),
         "n_boot": n_boot,
         "engines": list(engines),
+        "defenses": list(tm.DEFENSES),
         "attacks": list(args.attacks or tm.ATTACKS),
     }
     path = tm.write_scorecard(outcome, args.output, params=params)
@@ -478,9 +480,12 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
         console.info(f"wrote baseline {bpath}")
     if args.baseline:
         baseline = tm.load_security_baseline(args.baseline)
+        waived: List[str] = []
         failures = tm.compare_to_security_baseline(
-            outcome.cells, baseline, tolerance=args.tolerance
+            outcome.cells, baseline, tolerance=args.tolerance, waived=waived
         )
+        for message in waived:
+            console.info(f"KNOWN BOUNDARY {message}")
         if failures:
             for message in failures:
                 console.error(f"SECURITY REGRESSION {message}")
@@ -489,6 +494,71 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
             f"security gate passed vs {args.baseline} "
             f"(tolerance {args.tolerance:.2f})"
         )
+    return status
+
+
+def _cmd_compare_defenses(args: argparse.Namespace) -> int:
+    """The defense zoo head-to-head: every attack × every registered
+    defense × engine for leakage, plus a SPEC-pair overhead cell per
+    (defense, engine), joined into one DEFENSE_MATRIX.json artifact.
+    Exit contract: 1 when nothing was scored, 3 when cells were
+    quarantined, else 0."""
+    from repro.analysis import defense_matrix as dm
+    from repro.analysis import tournament as tm
+    from repro.analysis.runner import write_run_manifest
+    from repro.defenses import defense_names
+
+    console = args.console
+    engines = tm.ENGINES if args.engine == "both" else (args.engine,)
+    defenses = args.defenses or None
+    seed_count = args.seeds or 1
+    seeds = tuple(args.seed + i for i in range(seed_count))
+    n_boot = args.boot or (200 if args.quick else 500)
+    try:
+        outcome = dm.run_defense_matrix(
+            attacks=args.attacks or None,
+            engines=engines,
+            defenses=defenses,
+            seeds=seeds,
+            quick=args.quick,
+            jobs=args.jobs,
+            n_boot=n_boot,
+            checkpoint_path=args.resume,
+            quarantine_dir=_quarantine_dir_for(args.resume)
+            if args.resume
+            else None,
+            obs_dir=args.obs_dir,
+        )
+    except ValueError as exc:  # unknown attack name
+        console.error(str(exc))
+        return EXIT_FATAL
+    status = _report_sweep_outcome(console, outcome.sweep)
+    if not outcome.cells:
+        return EXIT_FATAL
+    console.result(dm.render_matrix(outcome))
+    params = {
+        "quick": args.quick,
+        "seeds": list(seeds),
+        "n_boot": n_boot,
+        "engines": list(engines),
+        "defenses": list(defenses or defense_names()),
+        "attacks": list(args.attacks or tm.ATTACKS),
+    }
+    path = dm.write_matrix(outcome, args.output, params=params)
+    console.info(f"wrote {path}")
+    write_run_manifest(
+        Path(str(args.output) + ".manifest.json"),
+        command=["repro"] + args.argv,
+        config=tm.cell_config(
+            (args.attacks or list(tm.ATTACKS))[0],
+            (defenses or defense_names())[0],
+            engines[0],
+            seeds[0],
+        ),
+        seed=seeds[0],
+        artifacts=[Path(args.output)],
+        extra={"cells": len(outcome.cells), "gaps": len(outcome.sweep.failures)},
+    )
     return status
 
 
@@ -988,6 +1058,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --jobs >= 2: write per-worker obs shards and a merged "
         "Perfetto trace + counters JSON under DIR",
     )
+    compare_defenses = sub.add_parser(
+        "compare-defenses",
+        help="defense zoo head-to-head: overhead vs leakage matrix over "
+        "every registered defense (DEFENSE_MATRIX.json)",
+        parents=[quiet_parent],
+    )
+    compare_defenses.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: fewer rounds/replicates, shorter overhead runs",
+    )
+    compare_defenses.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="supervised worker processes for the cell matrix "
+        "(default: one per CPU; 1 = the serial path)",
+    )
+    compare_defenses.add_argument(
+        "--engine",
+        choices=("object", "fast", "both"),
+        default="both",
+        help="which engine(s) to score (default: both)",
+    )
+    compare_defenses.add_argument(
+        "--attacks",
+        action="append",
+        metavar="NAME",
+        help="score just this attack (repeatable; default: all)",
+    )
+    compare_defenses.add_argument(
+        "--defenses",
+        action="append",
+        metavar="NAME",
+        help="score just this defense (repeatable; default: every "
+        "registered defense)",
+    )
+    compare_defenses.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool latencies over N seeds starting at --seed (default 1)",
+    )
+    compare_defenses.add_argument(
+        "--boot",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bootstrap replicates per cell (default: 200 quick, 500 full)",
+    )
+    compare_defenses.add_argument(
+        "--output",
+        default="DEFENSE_MATRIX.json",
+        help="matrix artifact path (default DEFENSE_MATRIX.json)",
+    )
+    compare_defenses.add_argument(
+        "--resume",
+        metavar="CHECKPOINT",
+        default=None,
+        help="checkpoint scored cells to (and resume from) this JSON "
+        "file; quarantined cells land in CHECKPOINT.quarantine/",
+    )
+    compare_defenses.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=None,
+        help="with --jobs >= 2: write per-worker obs shards and a merged "
+        "Perfetto trace + counters JSON under DIR",
+    )
     trace = sub.add_parser(
         "trace",
         help="traced flush+reload: trace.jsonl + Perfetto file + manifest",
@@ -1087,6 +1227,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "tournament": _cmd_tournament,
+    "compare-defenses": _cmd_compare_defenses,
     "trace": _cmd_trace,
     "obs": _cmd_obs,
 }

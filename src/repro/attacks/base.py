@@ -12,7 +12,6 @@ to pick its threshold.
 
 from __future__ import annotations
 
-import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import ContextManager, List, Optional, Sequence
@@ -115,20 +114,18 @@ class AttackOutcome:
 
     @property
     def leaked(self) -> bool:
-        """Deprecated alias for :meth:`verdict` at the default cutoff.
+        """Removed alias for :meth:`verdict` (deprecation completed).
 
-        Historically ``probe_hits > 0``; the AUC fallback preserves that
-        answer for every hit fraction above ``2 * (cutoff - 0.5)`` (10%
-        at the default) while letting control-arm attacks get a real
-        two-distribution verdict.  Use :meth:`verdict` in new code.
+        Historically ``probe_hits > 0``, then a deprecated forward to the
+        statistical verdict.  The deprecation cycle is over: accessing it
+        raises so stale callers fail loudly instead of silently using the
+        old single-threshold semantics.
         """
-        warnings.warn(
-            "AttackOutcome.leaked is deprecated; use "
-            "AttackOutcome.verdict() (statistical AUC verdict) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        raise AttributeError(
+            "AttackOutcome.leaked was removed after its deprecation "
+            "cycle; use AttackOutcome.verdict() (statistical AUC "
+            "verdict) or AttackOutcome.leak_auc() instead"
         )
-        return self.verdict()
 
 
 class SharedArrayScenario:

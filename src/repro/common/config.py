@@ -233,6 +233,11 @@ class SimConfig:
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
     timecache: TimeCacheConfig = field(default_factory=TimeCacheConfig)
     partition: PartitionConfig = field(default_factory=PartitionConfig)
+    #: registered defense plugin to attach (see :mod:`repro.defenses`).
+    #: Empty string = legacy wiring: no plugin is consulted and the
+    #: ``timecache``/``partition`` blocks alone decide the machine —
+    #: every pre-zoo construction site keeps its exact behavior.
+    defense: str = ""
     clock_ghz: float = 2.0
     #: scheduler quantum, in cycles
     quantum_cycles: int = 50_000
@@ -266,6 +271,13 @@ class SimConfig:
             raise ConfigError("context_switch_cycles cannot be negative")
         if self.tlb_entries < 0 or self.tlb_walk_cycles < 0:
             raise ConfigError("TLB parameters cannot be negative")
+
+    def with_defense(self, name: str) -> "SimConfig":
+        """Reshape into the named registered defense's machine (and stamp
+        ``defense`` so the system attaches its runtime hooks)."""
+        from repro.defenses import get_defense  # registry imports config
+
+        return get_defense(name).configure(self)
 
     def with_partitioning(self, domains: int = 2) -> "SimConfig":
         """The CAT+flush comparison baseline (TimeCache off)."""

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.common.clock import GlobalClock
 from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
 from repro.common.rng import DeterministicRng
 from repro.core.context import ContextSwitchEngine, SwitchCost
 from repro.core.sbits import TaskCachingState
@@ -61,6 +62,42 @@ class TimeCacheSystem:
         if config.partition.enabled:
             self.hierarchy.enable_partitioning(config.partition.domains)
         self.context_engine = ContextSwitchEngine(self.hierarchy, config.timecache)
+        #: attached defense plugin (:mod:`repro.defenses`) and its
+        #: per-system state.  ``config.defense == ""`` (every legacy
+        #: construction site) leaves both None and every hot path on its
+        #: pre-zoo branch; the "timecache"/"baseline" plugins are pure
+        #: config transforms, so attaching them changes nothing either.
+        self.defense = None
+        self.defense_state = None
+        #: address remap installed by a defense (copy-on-access): maps a
+        #: hardware context to a constant offset folded into every
+        #: address at this facade, before the hierarchy is entered.
+        self._addr_offset: Optional[Callable[[int], int]] = None
+        if config.defense:
+            from repro.defenses import get_defense
+
+            self.defense = get_defense(config.defense)
+            self.defense.check_engine(config)
+            listeners_before = len(self.hierarchy.pre_access_listeners) + len(
+                self.hierarchy.post_access_listeners
+            )
+            self.defense_state = self.defense.attach(self)
+            attached_listeners = (
+                len(self.hierarchy.pre_access_listeners)
+                + len(self.hierarchy.post_access_listeners)
+                - listeners_before
+            )
+            if (
+                attached_listeners
+                and config.hierarchy.engine == "fast"
+                and self.defense.fast_engine == "kernel"
+            ):
+                raise ConfigError(
+                    f"defense {config.defense!r} attaches per-access hooks, "
+                    f"which the fast engine's in-kernel batched path cannot "
+                    f"honor; declare fast_engine='scalar' (announced scalar "
+                    f"fallback) or fall back to engine='object'"
+                )
         self._task_state: Dict[int, TaskCachingState] = {}
         #: partitioning baseline: security domain per task id (assigned
         #: round-robin on first sight, like CLOS assignment per process)
@@ -94,6 +131,8 @@ class TimeCacheSystem:
     ) -> AccessResult:
         """One blocking memory access; ``now`` defaults to the global clock."""
         when = self.clock.now if now is None else now
+        if self._addr_offset is not None:
+            addr += self._addr_offset(ctx)
         return self.hierarchy.access(ctx, addr, kind, when)
 
     def access_batch(
@@ -115,6 +154,12 @@ class TimeCacheSystem:
         boundaries — issue them between calls.
         """
         when = self.clock.now if now is None else now
+        if self._addr_offset is not None:
+            offset = self._addr_offset(ctx)
+            if offset:
+                # One context per batch, so the remap is a constant shift
+                # — the fast engine's batched kernels stay eligible.
+                addrs = [int(addr) + offset for addr in addrs]
         return self.hierarchy.access_batch(
             ctx, addrs, kinds, now=when, advance=advance, nows=nows
         )
@@ -129,8 +174,14 @@ class TimeCacheSystem:
         return self.access(ctx, addr, AccessKind.IFETCH, now)
 
     def flush(self, ctx: int, addr: int, now: Optional[int] = None) -> AccessResult:
-        """clflush the line holding ``addr`` from every level."""
+        """clflush the line holding ``addr`` from every level.
+
+        Under an address-remapping defense the flush targets the issuing
+        tenant's own copy — no tenant can flush another's.
+        """
         when = self.clock.now if now is None else now
+        if self._addr_offset is not None:
+            addr += self._addr_offset(ctx)
         return self.hierarchy.flush(ctx, addr, when)
 
     # ------------------------------------------------------------------
@@ -166,6 +217,14 @@ class TimeCacheSystem:
             cost = self.context_engine.restore(
                 self.task_state(incoming_task), ctx, when
             )
+        if self.defense is not None:
+            extra = self.defense.on_context_switch(
+                self, outgoing_task, incoming_task, ctx, when
+            )
+            if extra is not None:
+                from repro.defenses import merge_switch_costs
+
+                cost = merge_switch_costs(cost, extra)
         for listener in self.switch_listeners:
             listener(outgoing_task, incoming_task, ctx, when)
         if self.obs_tracer is not None:

@@ -1,0 +1,36 @@
+"""Pluggable cache-side-channel defenses (docs/internals.md §17).
+
+TimeCache, the undefended control, FASE-style selective flushing, and
+CACHEBAR-style copy-on-access, all behind one :class:`Defense` protocol
+and one registry that the tournament, the compare-defenses matrix, and
+:class:`~repro.core.timecache.TimeCacheSystem` share.
+"""
+
+from repro.defenses.base import Defense, merge_switch_costs
+from repro.defenses.builtin import (
+    BaselineControl,
+    CopyOnAccessDefense,
+    SelectiveFlushDefense,
+    TimeCacheDefense,
+)
+from repro.defenses.registry import (
+    defense_names,
+    get_defense,
+    is_control_defense,
+    register_defense,
+    unregister_defense,
+)
+
+__all__ = [
+    "BaselineControl",
+    "CopyOnAccessDefense",
+    "Defense",
+    "SelectiveFlushDefense",
+    "TimeCacheDefense",
+    "defense_names",
+    "get_defense",
+    "is_control_defense",
+    "merge_switch_costs",
+    "register_defense",
+    "unregister_defense",
+]

@@ -39,12 +39,12 @@ class TestAttackOutcome:
     def test_hit_fraction(self):
         outcome = AttackOutcome(probe_hits=3, probe_total=4)
         assert outcome.hit_fraction == 0.75
-        assert outcome.leaked
+        assert outcome.verdict()
 
     def test_empty_outcome(self):
         outcome = AttackOutcome(probe_hits=0, probe_total=0)
         assert outcome.hit_fraction == 0.0
-        assert not outcome.leaked
+        assert not outcome.verdict()
 
 
 class TestPartitionGeometry:

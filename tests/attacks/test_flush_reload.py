@@ -26,7 +26,7 @@ class TestMicrobenchmark:
         )
         assert outcome.probe_total == 64
         assert outcome.probe_hits == 0
-        assert not outcome.leaked
+        assert not outcome.verdict()
 
     def test_latencies_cluster_by_configuration(self):
         base = run_microbenchmark_attack(

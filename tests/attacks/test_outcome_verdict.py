@@ -1,4 +1,4 @@
-"""AttackOutcome's statistical verdict and the deprecated ``leaked`` alias."""
+"""AttackOutcome's statistical verdict and the removed ``leaked`` alias."""
 
 import pytest
 
@@ -51,24 +51,24 @@ def test_control_arm_detects_separation_without_hits():
 
 
 # ----------------------------------------------------------------------
-# deprecated alias
+# removed alias (deprecation cycle completed)
 # ----------------------------------------------------------------------
-def test_leaked_warns_and_matches_verdict():
+def test_leaked_raises_pointing_at_verdict():
+    # ``leaked`` went through a DeprecationWarning cycle and is now
+    # removed; the error must name both replacements so stale callers
+    # know where to go.
     outcome = AttackOutcome(7, 8)
-    with pytest.warns(DeprecationWarning, match="verdict"):
-        assert outcome.leaked is True
-    clean = AttackOutcome(0, 8)
-    with pytest.warns(DeprecationWarning):
-        assert clean.leaked is False
+    with pytest.raises(AttributeError, match=r"verdict\(\)") as excinfo:
+        outcome.leaked
+    assert "leak_auc()" in str(excinfo.value)
+    assert "removed" in str(excinfo.value)
 
 
-def test_leaked_preserves_historical_answers_at_observed_fractions():
-    # The pre-statistical rule was ``probe_hits > 0``.  Real runs land
-    # either near-zero (defended) or well above 10% (undefended), where
-    # the AUC fallback gives the same answer.
-    for hits, total, expected in [(0, 64, False), (60, 64, True), (64, 64, True)]:
-        with pytest.warns(DeprecationWarning):
-            assert AttackOutcome(hits, total).leaked is expected
+def test_leaked_raises_even_on_clean_outcomes():
+    # The raise must not depend on the outcome's contents — any access
+    # is a stale caller.
+    with pytest.raises(AttributeError):
+        AttackOutcome(0, 0).leaked
 
 
 def test_default_cutoff_is_below_tournament_cutoff():

@@ -1,0 +1,139 @@
+"""Behavioral semantics of the shipped defense zoo.
+
+Each defense is driven directly through the TimeCacheSystem facade (the
+same surface the attacks use) and checked for the property it claims:
+selective flushing evicts exactly the switching context's lines;
+copy-on-access isolates tenants' copies while preserving set collisions.
+"""
+
+import pytest
+
+from repro.common import scaled_experiment_config
+from repro.core import TimeCacheSystem
+from repro.memsys import AccessKind
+
+
+def _system(defense, engine="object", **kw):
+    config = scaled_experiment_config(engine=engine, **kw).with_defense(
+        defense
+    )
+    return TimeCacheSystem(config)
+
+
+ENGINES = ("object", "fast")
+
+
+# ----------------------------------------------------------------------
+# selective flushing (FASE)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
+def test_selective_flush_evicts_touched_lines_at_switch(engine):
+    system = _system("selective_flush", engine)
+    system.access(0, 0x1000, AccessKind.LOAD, now=0)
+    warm = system.access(0, 0x1000, AccessKind.LOAD, now=300)
+    assert warm.level == "L1"
+    cost = system.context_switch(0, 1, ctx=0, now=1_000)
+    # one flushed line, charged at the clflush-cached latency
+    assert cost.dma_cycles == system.hierarchy.latency.flush_cached
+    after = system.access(0, 0x1000, AccessKind.LOAD, now=2_000)
+    assert after.level == "DRAM"
+    snap = system.hierarchy.stats.snapshot()
+    assert snap["hierarchy.selective_flushes"] == 1
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_selective_flush_leaves_other_contexts_lines(engine):
+    system = _system("selective_flush", engine, num_cores=2)
+    system.access(0, 0x1000, AccessKind.LOAD, now=0)
+    system.access(1, 0x8000, AccessKind.LOAD, now=10)
+    system.context_switch(0, 2, ctx=0, now=1_000)
+    # ctx 1's working set was not part of the reschedule: still warm
+    other = system.access(1, 0x8000, AccessKind.LOAD, now=2_000)
+    assert other.level == "L1"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_selective_flush_idle_switch_costs_nothing(engine):
+    system = _system("selective_flush", engine)
+    cost = system.context_switch(0, 1, ctx=0, now=100)
+    assert cost.dma_cycles == 0
+    # and a second switch after the first drained the set is also free
+    system.access(0, 0x1000, AccessKind.LOAD, now=200)
+    system.context_switch(1, 2, ctx=0, now=1_000)
+    cost = system.context_switch(2, 3, ctx=0, now=2_000)
+    assert cost.dma_cycles == 0
+
+
+# ----------------------------------------------------------------------
+# copy-on-access (CACHEBAR)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
+def test_copy_on_access_blocks_cross_tenant_reload(engine):
+    """The flush+reload kill: the victim's access warms the *victim's*
+    copy, so the attacker's reload of the same shared address misses."""
+    system = _system("copy_on_access", engine, num_cores=2)
+    system.access(1, 0x1000, AccessKind.LOAD, now=0)  # victim touches
+    probe = system.access(0, 0x1000, AccessKind.LOAD, now=1_000)
+    assert probe.level == "DRAM"  # attacker's copy was never filled
+    # while same-tenant reuse is unaffected
+    again = system.access(1, 0x1000, AccessKind.LOAD, now=2_000)
+    assert again.level == "L1"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_copy_on_access_flush_targets_own_copy(engine):
+    """The flush+flush / evict+reload kill: no tenant can flush
+    another's copy out of the cache."""
+    system = _system("copy_on_access", engine, num_cores=2)
+    system.access(1, 0x1000, AccessKind.LOAD, now=0)
+    system.flush(0, 0x1000, now=500)  # attacker flushes *its* copy
+    still_warm = system.access(1, 0x1000, AccessKind.LOAD, now=1_000)
+    assert still_warm.level == "L1"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_copy_on_access_preserves_set_collisions(engine):
+    """Copies keep their set-index bits, so conflict channels
+    (prime+probe) honestly survive: both tenants' copies of one line
+    land in the same LLC set."""
+    system = _system("copy_on_access", engine, num_cores=2)
+    llc = system.hierarchy.llc
+    line = 0x1000 >> 6
+    offset_line = lambda ctx: (system._addr_offset(ctx) >> 6) + line
+    assert llc.set_index(offset_line(0)) == llc.set_index(offset_line(1))
+    assert offset_line(0) != offset_line(1)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_copy_on_access_tenant_follows_task_at_switch(engine):
+    """After a context switch the hardware context carries the incoming
+    task's tenancy: the new task gets its own cold copies, and the old
+    task's copies are waiting when it returns."""
+    system = _system("copy_on_access", engine)
+    system.access(0, 0x1000, AccessKind.LOAD, now=0)
+    system.context_switch(0, 7, ctx=0, now=1_000)
+    cold = system.access(0, 0x1000, AccessKind.LOAD, now=2_000)
+    assert cold.level == "DRAM"  # task 7's copy, never filled
+    system.context_switch(7, 0, ctx=0, now=3_000)
+    back = system.access(0, 0x1000, AccessKind.LOAD, now=4_000)
+    assert back.level in ("L1", "LLC")  # task 0's copy survived
+
+
+# ----------------------------------------------------------------------
+# the pure transforms
+# ----------------------------------------------------------------------
+def test_timecache_plugin_is_pure_transform():
+    system = _system("timecache")
+    assert system.defense is not None
+    assert system.defense_state is None
+    assert system._addr_offset is None
+    assert not system.hierarchy.pre_access_listeners
+    assert not system.hierarchy.post_access_listeners
+    assert system.config.timecache.enabled
+
+
+def test_baseline_plugin_is_pure_transform():
+    system = _system("baseline")
+    assert system.defense_state is None
+    assert system._addr_offset is None
+    assert not system.config.timecache.enabled

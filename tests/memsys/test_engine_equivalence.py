@@ -370,3 +370,75 @@ def test_fast_engine_rejects_unsupported_policy():
     )
     with pytest.raises(ConfigError, match="tree-plru"):
         TimeCacheSystem(config)
+
+
+# ---------------------------------------------------------------------------
+# the defense zoo: every registered defense fuzzed reference-vs-fast
+# ---------------------------------------------------------------------------
+from repro.defenses import defense_names  # noqa: E402
+
+
+def _defense_config(name, engine, seed):
+    """Each defense on the same two-core machine, via its own
+    ``configure`` transform — exactly how a tournament cell builds it."""
+    from repro.defenses import get_defense
+
+    return get_defense(name).configure(
+        scaled_experiment_config(num_cores=2, seed=seed, engine=engine)
+    )
+
+
+@pytest.mark.parametrize("defense", defense_names())
+@pytest.mark.parametrize("seed", range(8))
+def test_defense_engines_agree(defense, seed):
+    """Under every registered defense the fast engine must stay
+    bit-identical to the object one — access results, switch costs
+    (including the defense's own contribution), stats, final state."""
+    obj = _run_trace(
+        _defense_config(defense, "object", seed), seed, 2, True
+    )
+    fast = _run_trace(
+        _defense_config(defense, "fast", seed), seed, 2, True
+    )
+    assert obj[0] == fast[0], f"{defense}: access/switch streams diverge"
+    assert obj[1] == fast[1], f"{defense}: stats snapshots diverge"
+    assert obj[2] == fast[2], f"{defense}: final cache state diverges"
+
+
+@pytest.mark.parametrize("defense", defense_names())
+@pytest.mark.parametrize("seed", range(4))
+def test_defense_batched_matches_scalar(defense, seed):
+    """``access_batch`` under each defense — whether it runs the
+    in-kernel batched path (timecache, copy_on_access) or the announced
+    scalar fallback (selective_flush's listeners) — must match the
+    scalar loop on both engines."""
+    scalar = _run_trace(_defense_config(defense, "fast", seed), seed, 2, True)
+    batched = _run_trace(
+        _defense_config(defense, "fast", seed), seed, 2, True, batched=True
+    )
+    obj_batched = _run_trace(
+        _defense_config(defense, "object", seed), seed, 2, True, batched=True
+    )
+    assert batched[0] == scalar[0], f"{defense}: batched results diverge"
+    assert batched[1] == scalar[1], f"{defense}: batched stats diverge"
+    assert batched[2] == scalar[2], f"{defense}: batched final state diverges"
+    assert obj_batched[0] == scalar[0], f"{defense}: object batch diverges"
+    assert obj_batched[1] == scalar[1], f"{defense}: object batch stats"
+    assert obj_batched[2] == scalar[2], f"{defense}: object batch state"
+
+
+@pytest.mark.parametrize("defense", defense_names())
+@pytest.mark.parametrize("seed", range(3))
+def test_defense_traced_event_streams(defense, seed):
+    """Both engines must emit the identical trace under each defense —
+    including the flush events a flushing defense issues at switches."""
+    obj = _run_trace(
+        _defense_config(defense, "object", seed), seed, 2, True, traced=True
+    )
+    fast = _run_trace(
+        _defense_config(defense, "fast", seed), seed, 2, True, traced=True
+    )
+    assert obj[3] == fast[3], f"{defense}: trace event streams diverge"
+    assert obj[0] == fast[0], f"{defense}: access/switch streams diverge"
+    assert obj[1] == fast[1], f"{defense}: stats snapshots diverge"
+    assert obj[2] == fast[2], f"{defense}: final cache state diverges"

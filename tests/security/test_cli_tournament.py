@@ -34,17 +34,21 @@ def test_parser_accepts_tournament_flags():
 
 
 def test_tournament_writes_scorecard_and_manifest(tmp_path, capsys):
+    from repro.defenses import defense_names
+
     status, output = _run(tmp_path)
     assert status == 0
     out = capsys.readouterr().out
-    assert "flush_reload|baseline|object" in out
-    assert "flush_reload|timecache|object" in out
+    # one cell per registered defense — the axis is the registry
+    for defense in defense_names():
+        assert f"flush_reload|{defense}|object" in out
     scorecard = json.loads(output.read_text())
     assert scorecard["kind"] == "security_scorecard"
-    assert len(scorecard["cells"]) == 2
+    assert len(scorecard["cells"]) == len(defense_names())
+    assert scorecard["params"]["defenses"] == list(defense_names())
     assert scorecard["gaps"] == []
     manifest = json.loads((tmp_path / "SECURITY.json.manifest.json").read_text())
-    assert manifest["extra"]["cells"] == 2
+    assert manifest["extra"]["cells"] == len(defense_names())
 
 
 def test_tournament_rejects_unknown_attack(tmp_path, capsys):
@@ -64,6 +68,45 @@ def test_tournament_update_then_gate_passes(tmp_path, capsys):
     assert status == 0
     captured = capsys.readouterr()
     assert "security gate passed" in captured.out + captured.err
+
+
+def test_compare_defenses_writes_matrix(tmp_path, capsys):
+    """``repro compare-defenses`` end to end on a one-attack slice."""
+    from repro.defenses import defense_names
+
+    output = tmp_path / "DEFENSE_MATRIX.json"
+    argv = [
+        "compare-defenses", "--quick", "--attacks", "flush_reload",
+        "--engine", "object", "--boot", "50", "--jobs", "1",
+        "--output", str(output), "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "slowdown" in out
+    matrix = json.loads(output.read_text())
+    assert matrix["kind"] == "defense_matrix"
+    assert matrix["axes"]["defenses"] == list(defense_names())
+    for defense in defense_names():
+        assert f"flush_reload|{defense}|object" in matrix["cells"]
+        assert f"overhead|{defense}|object" in matrix["cells"]
+    manifest = json.loads(
+        (tmp_path / "DEFENSE_MATRIX.json.manifest.json").read_text()
+    )
+    assert manifest["extra"]["cells"] == 2 * len(defense_names())
+
+
+def test_compare_defenses_parser_flags():
+    args = build_parser().parse_args(
+        [
+            "compare-defenses", "--quick", "--jobs", "2",
+            "--engine", "both", "--attacks", "flush_reload",
+            "--defenses", "timecache", "--defenses", "baseline",
+            "--boot", "100", "--resume", "ck.json",
+        ]
+    )
+    assert args.command == "compare-defenses"
+    assert args.defenses == ["timecache", "baseline"]
+    assert args.output == "DEFENSE_MATRIX.json"
 
 
 def test_tournament_gate_fails_on_doctored_baseline(tmp_path, capsys):

@@ -1,0 +1,129 @@
+"""compare-defenses matrix: job shape, determinism, resume, artifacts.
+
+The determinism contract is per-field: leakage scores and an overhead
+cell's simulated cycle counts are pure functions of (config, seeds) —
+identical across runs and across ``--jobs`` fan-outs — while wall-clock
+fields are explicitly excluded.  The smoke here runs a one-attack slice
+of the real matrix under ``jobs=2`` with a checkpoint, twice over.
+"""
+
+import pytest
+
+from repro.analysis import defense_matrix as dm
+from repro.analysis import tournament as tm
+from repro.defenses import defense_names
+
+
+def _deterministic(cell):
+    if cell.get("kind") == "overhead":
+        return {k: cell[k] for k in dm.OVERHEAD_DETERMINISTIC_FIELDS}
+    return cell  # leakage cells are deterministic in every field
+
+
+# ----------------------------------------------------------------------
+# job matrix construction
+# ----------------------------------------------------------------------
+def test_matrix_jobs_cover_leakage_plus_overhead():
+    jobs = dm.matrix_jobs()
+    expected = len(tm.ATTACKS) * len(tm.DEFENSES) * len(tm.ENGINES)
+    expected += len(tm.DEFENSES) * len(tm.ENGINES)
+    assert len(jobs) == expected
+    labels = [job.label for job in jobs]
+    assert len(set(labels)) == len(labels)
+    assert dm.overhead_label("selective_flush", "fast") in labels
+
+
+def test_overhead_cell_control_normalizes_to_one():
+    cell = dm.run_overhead_cell("baseline", "object", 2_000, 7)
+    assert cell["slowdown"] == pytest.approx(1.0)
+    assert cell["sim_cycles"] == cell["control_cycles"]
+
+
+def test_overhead_cell_defenses_cost_something():
+    tc = dm.run_overhead_cell("timecache", "object", 2_000, 7)
+    sf = dm.run_overhead_cell("selective_flush", "object", 2_000, 7)
+    assert tc["slowdown"] > 1.0
+    assert sf["slowdown"] > 1.0
+    # flush-on-switch must cost more than the s-bit discipline — the
+    # whole point of the head-to-head table
+    assert sf["slowdown"] > tc["slowdown"]
+
+
+# ----------------------------------------------------------------------
+# the driver: jobs=2 + resume, deterministic rows
+# ----------------------------------------------------------------------
+MATRIX_KW = dict(
+    attacks=["flush_reload"],
+    engines=("object",),
+    seeds=(7,),
+    quick=True,
+    jobs=2,
+    n_boot=50,
+    overhead_instructions=2_000,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix_outcome(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("defense_matrix")
+    outcome = dm.run_defense_matrix(
+        checkpoint_path=tmp / "ck.json", **MATRIX_KW
+    )
+    return tmp, outcome
+
+
+def test_matrix_scores_every_registered_defense(matrix_outcome):
+    _, outcome = matrix_outcome
+    assert outcome.complete
+    assert sorted(outcome.cells) == sorted(outcome.labels)
+    for defense in defense_names():
+        assert f"flush_reload|{defense}|object" in outcome.cells
+        assert dm.overhead_label(defense, "object") in outcome.cells
+    # flush+reload is a reuse channel: every non-control defense in the
+    # zoo closes it, the control leaks
+    assert outcome.cells["flush_reload|baseline|object"]["leak"] is True
+    for defense in ("timecache", "selective_flush", "copy_on_access"):
+        assert outcome.cells[f"flush_reload|{defense}|object"]["leak"] is False
+
+
+def test_matrix_resumes_from_checkpoint(matrix_outcome):
+    tmp, first = matrix_outcome
+    second = dm.run_defense_matrix(checkpoint_path=tmp / "ck.json", **MATRIX_KW)
+    assert sorted(second.sweep.resumed) == sorted(first.labels)
+    assert {k: _deterministic(c) for k, c in second.cells.items()} == {
+        k: _deterministic(c) for k, c in first.cells.items()
+    }
+
+
+def test_matrix_rows_deterministic_across_fresh_runs(matrix_outcome, tmp_path):
+    """A fresh checkpoint (nothing to resume) under the same jobs=2
+    fan-out must reproduce every deterministic field bit-for-bit."""
+    _, first = matrix_outcome
+    fresh = dm.run_defense_matrix(checkpoint_path=tmp_path / "ck2.json", **MATRIX_KW)
+    assert not fresh.sweep.resumed
+    assert {k: _deterministic(c) for k, c in fresh.cells.items()} == {
+        k: _deterministic(c) for k, c in first.cells.items()
+    }
+
+
+def test_matrix_artifact_round_trip(matrix_outcome, tmp_path):
+    _, outcome = matrix_outcome
+    path = dm.write_matrix(
+        outcome, tmp_path / "DEFENSE_MATRIX.json", params={"quick": True}
+    )
+    loaded = dm.load_matrix(path)
+    assert loaded["kind"] == "defense_matrix"
+    assert loaded["cells"] == outcome.cells
+    assert loaded["gaps"] == []
+    assert loaded["axes"]["defenses"] == list(defense_names())
+    assert loaded["axes"]["attacks"] == ["flush_reload"]
+
+
+def test_render_matrix_rows(matrix_outcome):
+    _, outcome = matrix_outcome
+    text = dm.render_matrix(outcome)
+    for defense in defense_names():
+        assert defense in text
+    assert "slowdown" in text
+    # the control leaks flush+reload: a * marker must appear
+    assert "*" in text

@@ -190,6 +190,84 @@ def test_gate_ignores_one_sided_cells():
     assert tm.compare_to_security_baseline(cells, baseline) == []
 
 
+def test_gate_direction_covers_every_noncontrol_defense():
+    # The regression direction keys off the registry's control flag, not
+    # a hard-coded name — a new defense is gated from its first cell.
+    cells = {"a|selective_flush|object": _cell("selective_flush", ci_low=0.80)}
+    baseline = {"a|selective_flush|object": {"separation": 0.50, "leak": False}}
+    failures = tm.compare_to_security_baseline(cells, baseline)
+    assert len(failures) == 1
+    assert "defense regression" in failures[0]
+
+
+def test_gate_waives_known_boundary_cells():
+    # evict_time self-times the victim; TimeCache cannot close it, the
+    # baseline records that, and the gate reports-but-never-fails it.
+    cells = {"evict_time|timecache|object": _cell("timecache", ci_low=0.99)}
+    baseline = {
+        "evict_time|timecache|object": {
+            "separation": 1.0,
+            "leak": True,
+            "known_boundary": True,
+        }
+    }
+    waived = []
+    failures = tm.compare_to_security_baseline(
+        cells, baseline, waived=waived
+    )
+    assert failures == []
+    # never silently dropped: without drift there is nothing to report…
+    assert waived == []
+    # …but when the flagged cell trips the direction, it lands in waived
+    hot = {
+        "evict_time|timecache|object": {
+            "separation": 0.50,
+            "leak": True,
+            "known_boundary": True,
+        }
+    }
+    waived = []
+    assert tm.compare_to_security_baseline(cells, hot, waived=waived) == []
+    assert len(waived) == 1
+    assert "known boundary" in waived[0]
+    # and without a waived sink the exemption still holds (no failure)
+    assert tm.compare_to_security_baseline(cells, hot) == []
+
+
+def test_baseline_payload_flags_self_timing_cells():
+    outcome = tm.TournamentOutcome(
+        cells={
+            "evict_time|timecache|object": {
+                "attack": "evict_time", "defense": "timecache",
+                "engine": "object", "label": "evict_time|timecache|object",
+                "seeds": [7], "separation": 1.0, "ci_low": 1.0,
+                "ci_high": 1.0, "mi_bits": 0.9, "leak": True,
+            },
+            "evict_time|baseline|object": {
+                "attack": "evict_time", "defense": "baseline",
+                "engine": "object", "label": "evict_time|baseline|object",
+                "seeds": [7], "separation": 1.0, "ci_low": 1.0,
+                "ci_high": 1.0, "mi_bits": 0.9, "leak": True,
+            },
+            "flush_reload|timecache|object": {
+                "attack": "flush_reload", "defense": "timecache",
+                "engine": "object", "label": "flush_reload|timecache|object",
+                "seeds": [7], "separation": 0.5, "ci_low": 0.5,
+                "ci_high": 0.5, "mi_bits": 0.0, "leak": False,
+            },
+        },
+        sweep=None,
+        labels=[],
+    )
+    cells = tm.baseline_payload(outcome)["cells"]
+    # self-timing attack × defended arm: flagged
+    assert cells["evict_time|timecache|object"]["known_boundary"] is True
+    # control arm leaking is expected — no flag
+    assert "known_boundary" not in cells["evict_time|baseline|object"]
+    # defended arm of a closable attack — no flag
+    assert "known_boundary" not in cells["flush_reload|timecache|object"]
+
+
 def test_gate_fails_on_doctored_committed_baseline(quick_outcome, tmp_path):
     """The ISSUE's acceptance check: a doctored baseline must fail.
 
